@@ -1,0 +1,184 @@
+package ethselfish
+
+import (
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/experiments"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+// One benchmark per paper artifact. Each regenerates the table or figure at
+// reduced simulation effort (experiments.Quick), so `go test -bench=.`
+// exercises every experiment end to end; the cmd/ethselfish harness runs
+// them at paper scale.
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.Fig8(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if threshold := result.Threshold(); threshold < 0.1 || threshold > 0.2 {
+			b.Fatalf("threshold %v out of expected band", threshold)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.MaxTotal() < 1.3 {
+			b.Fatalf("max total %v below the paper's ~1.35", result.MaxTotal())
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(result.Rows) != 21 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.Table2(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(result.Columns) != 2 {
+			b.Fatal("unexpected column count")
+		}
+	}
+}
+
+func BenchmarkSecVIThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SecVI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ChainDump(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(0.3, 0.5, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDifficultyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DiffAblation(experiments.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrategyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.Strategies(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(result.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// Micro-benchmarks for the building blocks.
+
+func BenchmarkClosedFormRevenue(b *testing.B) {
+	m, err := core.New(core.Params{Alpha: 0.35, Gamma: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev := m.Revenue()
+		if rev.PoolStatic <= 0 {
+			b.Fatal("degenerate revenue")
+		}
+	}
+}
+
+func BenchmarkStationaryDistributionNumeric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewNumeric(core.Params{Alpha: 0.35, Gamma: 0.5, MaxLead: 80}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThresholdSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Threshold(core.ThresholdParams{Gamma: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulator100kBlocks(b *testing.B) {
+	pop, err := mining.TwoAgent(0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := sim.Run(sim.Config{
+			Population: pop,
+			Gamma:      0.5,
+			Blocks:     100000,
+			Seed:       uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.RegularCount == 0 {
+			b.Fatal("no settled blocks")
+		}
+	}
+	b.ReportMetric(100000, "blocks/op")
+}
+
+func BenchmarkSimulator1000Miners(b *testing.B) {
+	pop, err := mining.Equal(1000, 350)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{
+			Population: pop,
+			Gamma:      0.5,
+			Blocks:     20000,
+			Seed:       uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeFacade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := Analyze(0.3, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Revenue().Pool(Scenario1) <= 0 {
+			b.Fatal("degenerate")
+		}
+	}
+}

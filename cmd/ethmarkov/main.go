@@ -1,0 +1,117 @@
+// Command ethmarkov queries the closed-form Markov analysis: revenue
+// breakdowns, profitability thresholds, and stationary probabilities.
+//
+// Examples:
+//
+//	ethmarkov -alpha 0.35 -gamma 0.5               revenue breakdown
+//	ethmarkov -threshold -gamma 0.5                thresholds (both scenarios + Bitcoin)
+//	ethmarkov -alpha 0.35 -gamma 0.5 -pi 4,1       one stationary probability
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ethselfish/ethselfish"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ethmarkov:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ethmarkov", flag.ContinueOnError)
+	var (
+		alpha     = fs.Float64("alpha", 0.3, "selfish pool hash-power share (0, 0.5)")
+		gamma     = fs.Float64("gamma", 0.5, "honest tie-break fraction toward the pool [0, 1]")
+		threshold = fs.Bool("threshold", false, "print profitability thresholds instead of revenues")
+		ku        = fs.Float64("ku", -1, "flat uncle reward; negative selects Ethereum's Ku(.)")
+		maxDepth  = fs.Int("maxdepth", 6, "uncle reference depth limit; 0 means unlimited")
+		piQuery   = fs.String("pi", "", "stationary probability query, formatted as Ls,Lh")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	schedule := ethselfish.EthereumSchedule()
+	scheduleName := "Ethereum Ku(.)"
+	if *ku >= 0 {
+		depth := *maxDepth
+		if depth == 0 {
+			depth = ethselfish.NoDepthLimit
+		}
+		var err error
+		schedule, err = ethselfish.ConstantSchedule(*ku, depth)
+		if err != nil {
+			return err
+		}
+		scheduleName = fmt.Sprintf("flat Ku=%g", *ku)
+	}
+
+	if *threshold {
+		return printThresholds(w, *gamma, schedule, scheduleName)
+	}
+
+	analysis, err := ethselfish.Analyze(*alpha, *gamma, ethselfish.WithSchedule(schedule))
+	if err != nil {
+		return err
+	}
+
+	if *piQuery != "" {
+		parts := strings.SplitN(*piQuery, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -pi query %q: want Ls,Lh", *piQuery)
+		}
+		ls, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return fmt.Errorf("bad -pi query %q: %w", *piQuery, err)
+		}
+		lh, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return fmt.Errorf("bad -pi query %q: %w", *piQuery, err)
+		}
+		fmt.Fprintf(w, "pi(%d,%d) = %.10g\n", ls, lh, analysis.StateProbability(ls, lh))
+		return nil
+	}
+
+	rev := analysis.Revenue()
+	fmt.Fprintf(w, "analysis: alpha=%.4f gamma=%.2f schedule=%s\n", *alpha, *gamma, scheduleName)
+	fmt.Fprintf(w, "%-22s %12s %12s\n", "reward rate", "pool", "honest")
+	fmt.Fprintf(w, "%-22s %12.6f %12.6f\n", "static (Eq. 3/4)", rev.PoolStatic, rev.HonestStatic)
+	fmt.Fprintf(w, "%-22s %12.6f %12.6f\n", "uncle (Eq. 5/6)", rev.PoolUncle, rev.HonestUncle)
+	fmt.Fprintf(w, "%-22s %12.6f %12.6f\n", "nephew (Eq. 8/9)", rev.PoolNephew, rev.HonestNephew)
+	fmt.Fprintf(w, "regular-block rate %.6f, uncle rate %.6f\n", rev.RegularRate, rev.UncleRate)
+	fmt.Fprintf(w, "absolute revenue scenario 1: pool %.6f honest %.6f (baseline alpha=%.4f)\n",
+		rev.Pool(ethselfish.Scenario1), rev.Honest(ethselfish.Scenario1), *alpha)
+	fmt.Fprintf(w, "absolute revenue scenario 2: pool %.6f honest %.6f\n",
+		rev.Pool(ethselfish.Scenario2), rev.Honest(ethselfish.Scenario2))
+	fmt.Fprintf(w, "profitable: scenario1=%v scenario2=%v\n",
+		analysis.Profitable(ethselfish.Scenario1), analysis.Profitable(ethselfish.Scenario2))
+	return nil
+}
+
+func printThresholds(w io.Writer, gamma float64, schedule ethselfish.Schedule, scheduleName string) error {
+	bitcoin, err := ethselfish.BitcoinThreshold(gamma)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "profitability thresholds at gamma=%.2f (%s)\n", gamma, scheduleName)
+	fmt.Fprintf(w, "bitcoin (Eyal-Sirer): %.4f\n", bitcoin)
+	for _, scenario := range []ethselfish.Scenario{ethselfish.Scenario1, ethselfish.Scenario2} {
+		t, err := ethselfish.ProfitThreshold(gamma,
+			ethselfish.WithSchedule(schedule), ethselfish.WithScenario(scenario))
+		if err != nil {
+			fmt.Fprintf(w, "ethereum %v: no threshold below 0.5 (%v)\n", scenario, err)
+			continue
+		}
+		fmt.Fprintf(w, "ethereum %v: %.4f\n", scenario, t)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRevenueBreakdown(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alpha", "0.35", "-gamma", "0.5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"static (Eq. 3/4)", "uncle (Eq. 5/6)", "profitable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunThresholds(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-threshold", "-gamma", "0.5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "bitcoin (Eyal-Sirer): 0.2500") {
+		t.Errorf("output missing Bitcoin threshold:\n%s", out)
+	}
+	if !strings.Contains(out, "scenario1: 0.054") {
+		t.Errorf("output missing scenario-1 threshold:\n%s", out)
+	}
+}
+
+func TestRunPiQuery(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alpha", "0.4", "-pi", "0,0"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "pi(0,0)") {
+		t.Errorf("output = %q", b.String())
+	}
+	if err := run([]string{"-pi", "junk"}, &b); err == nil {
+		t.Error("bad pi query should fail")
+	}
+	if err := run([]string{"-pi", "a,b"}, &b); err == nil {
+		t.Error("non-numeric pi query should fail")
+	}
+}
+
+func TestRunFlatScheduleThresholds(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-threshold", "-gamma", "0.5", "-ku", "0.5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "scenario1: 0.163") {
+		t.Errorf("flat-Ku threshold missing:\n%s", b.String())
+	}
+}
+
+func TestRunBadParams(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alpha", "0.9"}, &b); err == nil {
+		t.Error("alpha=0.9 should fail")
+	}
+	if err := run([]string{"-ku", "-2", "-nonsense"}, &b); err == nil {
+		t.Error("bogus flag should fail")
+	}
+}

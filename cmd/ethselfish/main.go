@@ -1,0 +1,153 @@
+// Command ethselfish regenerates every table and figure of "Selfish Mining
+// in Ethereum" (Niu & Feng, ICDCS 2019).
+//
+// Usage:
+//
+//	ethselfish [flags] <experiment>
+//
+// Experiments: table1, fig6, fig7, fig8, fig9, fig10, table2, secvi,
+// diffablation, all.
+//
+// Flags:
+//
+//	-quick        reduced simulation effort (2 runs x 20k blocks)
+//	-runs N       simulation runs per data point (default 10, as the paper)
+//	-blocks N     block events per run (default 100000, as the paper)
+//	-seed N       base RNG seed (default 1)
+//	-csv          emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/ethselfish/ethselfish/internal/experiments"
+	"github.com/ethselfish/ethselfish/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ethselfish:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ethselfish", flag.ContinueOnError)
+	var (
+		quick  = fs.Bool("quick", false, "reduced simulation effort")
+		runs   = fs.Int("runs", experiments.DefaultRuns, "simulation runs per data point")
+		blocks = fs.Int("blocks", experiments.DefaultBlocks, "block events per run")
+		seed   = fs.Uint64("seed", 1, "base RNG seed")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: ethselfish [flags] <experiment>\n")
+		fmt.Fprintf(fs.Output(), "experiments: %s\n\n", strings.Join(experimentNames(), ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment, got %d arguments", fs.NArg())
+	}
+
+	opts := experiments.Options{Runs: *runs, Blocks: *blocks, Seed: *seed}
+	if *quick {
+		opts = experiments.Quick()
+		opts.Seed = *seed
+	}
+
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, exp := range experimentNames() {
+			if err := emit(w, exp, opts, *csv); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return emit(w, name, opts, *csv)
+}
+
+func experimentNames() []string {
+	return []string{
+		"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "table2",
+		"secvi", "diffablation", "strategies",
+	}
+}
+
+func emit(w io.Writer, name string, opts experiments.Options, csv bool) error {
+	tab, err := build(name, opts)
+	if err != nil {
+		return err
+	}
+	if csv {
+		return tab.RenderCSV(w)
+	}
+	return tab.Render(w)
+}
+
+func build(name string, opts experiments.Options) (*table.Table, error) {
+	switch name {
+	case "table1":
+		return experiments.Table1(), nil
+	case "fig6":
+		return experiments.Fig6(), nil
+	case "fig7":
+		return experiments.Fig7(0.3 /* alpha */, 0.5 /* gamma */, 8 /* maxLead */)
+	case "fig8":
+		result, err := experiments.Fig8(opts)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "fig9":
+		result, err := experiments.Fig9()
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "fig10":
+		result, err := experiments.Fig10()
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "table2":
+		result, err := experiments.Table2(opts)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "secvi":
+		result, err := experiments.SecVI()
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "diffablation":
+		result, err := experiments.DiffAblation(opts)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "strategies":
+		result, err := experiments.Strategies(opts)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (want one of %s)",
+			name, strings.Join(experimentNames(), ", "))
+	}
+}

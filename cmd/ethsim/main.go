@@ -1,0 +1,147 @@
+// Command ethsim runs the event-driven selfish-mining simulator for one
+// configuration and prints the settled revenue summary next to the analytic
+// prediction.
+//
+// Example:
+//
+//	ethsim -alpha 0.35 -gamma 0.5 -blocks 100000 -runs 10
+//	ethsim -alpha 0.3 -gamma 0.5 -ku 0.5 -maxdepth 0 -miners 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ethselfish/ethselfish"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/rewards"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ethsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ethsim", flag.ContinueOnError)
+	var (
+		alpha      = fs.Float64("alpha", 0.3, "selfish pool hash-power share (0, 0.5)")
+		gamma      = fs.Float64("gamma", 0.5, "honest tie-break fraction toward the pool [0, 1]")
+		blocks     = fs.Int("blocks", 100000, "block events per run")
+		runs       = fs.Int("runs", 10, "independent runs")
+		seed       = fs.Uint64("seed", 1, "RNG seed")
+		ku         = fs.Float64("ku", -1, "flat uncle reward (fraction of Ks); negative selects Ethereum's Ku(.)")
+		maxDepth   = fs.Int("maxdepth", 6, "uncle reference depth limit; 0 means unlimited")
+		uncleLimit = fs.Int("uncles", 0, "max uncles per block; 0 means unlimited (Ethereum: 2)")
+		miners     = fs.Int("miners", 0, "simulate n equal miners instead of two aggregate agents")
+		dump       = fs.String("dump", "", "write one run's full block tree as JSON to this file")
+		strategy   = fs.String("strategy", "algorithm1", "pool strategy: algorithm1, honest, trail-stubborn, eager-publish-<k>")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	schedule := ethselfish.EthereumSchedule()
+	if *ku >= 0 {
+		depth := *maxDepth
+		if depth == 0 {
+			depth = ethselfish.NoDepthLimit
+		}
+		var err error
+		schedule, err = ethselfish.ConstantSchedule(*ku, depth)
+		if err != nil {
+			return err
+		}
+	}
+
+	opts := []ethselfish.Option{
+		ethselfish.WithSchedule(schedule),
+		ethselfish.WithSeed(*seed),
+		ethselfish.WithRuns(*runs),
+		ethselfish.WithUncleLimit(*uncleLimit),
+		ethselfish.WithStrategy(*strategy),
+	}
+	if *miners > 0 {
+		opts = append(opts, ethselfish.WithMiners(*miners))
+	}
+	result, err := ethselfish.Simulate(*alpha, *gamma, *blocks, opts...)
+	if err != nil {
+		return err
+	}
+	if *dump != "" {
+		if err := dumpTrace(*dump, *alpha, *gamma, *blocks, *seed, *uncleLimit, *ku, *maxDepth); err != nil {
+			return fmt.Errorf("dumping trace: %w", err)
+		}
+		fmt.Fprintf(w, "trace written to %s\n", *dump)
+	}
+	analysis, err := ethselfish.Analyze(result.Alpha, *gamma, ethselfish.WithSchedule(schedule))
+	if err != nil {
+		return err
+	}
+	rev := analysis.Revenue()
+
+	fmt.Fprintf(w, "selfish mining simulation: alpha=%.4f gamma=%.2f strategy=%s, %d runs x %d blocks\n",
+		result.Alpha, *gamma, *strategy, result.Runs, result.BlocksPerRun)
+	fmt.Fprintf(w, "settled blocks: %d regular, %d uncle, %d stale\n",
+		result.RegularBlocks, result.UncleBlocks, result.StaleBlocks)
+	fmt.Fprintf(w, "%-28s %10s %10s\n", "", "simulated", "analytic")
+	fmt.Fprintf(w, "%-28s %10.4f %10.4f\n", "pool revenue (scenario 1)", result.PoolRevenue, rev.Pool(ethselfish.Scenario1))
+	fmt.Fprintf(w, "%-28s %10.4f %10.4f\n", "honest revenue (scenario 1)", result.HonestRevenue, rev.Honest(ethselfish.Scenario1))
+	fmt.Fprintf(w, "%-28s %10.4f %10.4f\n", "pool revenue (scenario 2)", result.PoolRevenueScenario2, rev.Pool(ethselfish.Scenario2))
+	fmt.Fprintf(w, "%-28s %10.4f %10.4f\n", "honest revenue (scenario 2)", result.HonestRevenueScenario2, rev.Honest(ethselfish.Scenario2))
+	fmt.Fprintf(w, "pool revenue std err: %.5f\n", result.PoolRevenueStdErr)
+	fmt.Fprintf(w, "honest mining baseline: %.4f\n", result.Alpha)
+
+	fmt.Fprintf(w, "honest uncle distances (1..6):")
+	analytic := rev.UncleDistances(6)
+	for d, p := range result.UncleDistances {
+		fmt.Fprintf(w, " %d:%.3f(%.3f)", d+1, p, analytic[d])
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// dumpTrace re-runs the first run of the configuration and writes its block
+// tree as JSON.
+func dumpTrace(path string, alpha, gamma float64, blocks int, seed uint64, uncleLimit int, ku float64, maxDepth int) error {
+	pop, err := mining.TwoAgent(alpha)
+	if err != nil {
+		return err
+	}
+	schedule := rewards.Ethereum()
+	if ku >= 0 {
+		depth := maxDepth
+		if depth == 0 {
+			depth = rewards.NoDepthLimit
+		}
+		schedule, err = rewards.Constant(ku, depth)
+		if err != nil {
+			return err
+		}
+	}
+	_, tree, err := sim.RunTrace(sim.Config{
+		Population:        pop,
+		Gamma:             gamma,
+		Schedule:          schedule,
+		Blocks:            blocks,
+		Seed:              seed*0x9E3779B97F4A7C15 + 0, // first RunMany seed
+		MaxUnclesPerBlock: uncleLimit,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tree.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/chain"
+)
+
+func TestRunDefaultsQuick(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-alpha", "0.3", "-blocks", "20000", "-runs", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"pool revenue (scenario 1)", "honest uncle distances", "settled blocks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFlatSchedule(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-alpha", "0.2", "-ku", "0.5", "-maxdepth", "0",
+		"-blocks", "10000", "-runs", "1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alpha", "0.7", "-blocks", "100", "-runs", "1"}, &b); err == nil {
+		t.Error("alpha=0.7 should fail")
+	}
+	if err := run([]string{"-ku", "-0.5", "-bogus"}, &b); err == nil {
+		t.Error("bogus flag should fail")
+	}
+}
+
+func TestRunDumpTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.json"
+	var b strings.Builder
+	err := run([]string{"-alpha", "0.3", "-blocks", "2000", "-runs", "1", "-dump", path}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tree, err := chain.Decode(f)
+	if err != nil {
+		t.Fatalf("decoding dumped trace: %v", err)
+	}
+	if tree.Len() < 1000 {
+		t.Errorf("trace has only %d blocks", tree.Len())
+	}
+}
+
+func TestRunStrategyFlag(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-alpha", "0.3", "-blocks", "5000", "-runs", "1",
+		"-strategy", "trail-stubborn"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "strategy=trail-stubborn") {
+		t.Errorf("output missing strategy name:\n%s", b.String())
+	}
+	if err := run([]string{"-strategy", "bogus", "-blocks", "100", "-runs", "1"}, &b); err == nil {
+		t.Error("bogus strategy should fail")
+	}
+}

@@ -1,0 +1,25 @@
+// Package ethselfish reproduces "Selfish Mining in Ethereum" (Jianyu Niu
+// and Chen Feng, ICDCS 2019): a 2-D Markov analysis and an event-driven
+// simulation of an Eyal-Sirer-style selfish-mining strategy under
+// Ethereum's uncle and nephew rewards.
+//
+// The package is a facade over the full implementation:
+//
+//   - Analyze solves the closed-form model for one (alpha, gamma, schedule)
+//     configuration and reports long-run revenues under both
+//     difficulty-adjustment scenarios the paper studies.
+//   - Simulate runs Algorithm 1 on a real block tree with a Poisson mining
+//     race and settles rewards over the resulting chain.
+//   - ProfitThreshold computes alpha*, the minimum hash-power share at
+//     which deviating becomes profitable; BitcoinThreshold gives the
+//     Eyal-Sirer baseline (1-gamma)/(3-2*gamma).
+//
+// Reward schedules are first-class: the Ethereum Byzantium schedule
+// (Ku(l) = (8-l)/8, Kn = 1/32, depth <= 6), flat schedules (Fig. 9 and the
+// Sec. VI redesign), and the degenerate Bitcoin schedule that reduces the
+// model to Eyal and Sirer's analysis.
+//
+// The experiment harness regenerating every table and figure of the paper
+// lives in cmd/ethselfish; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package ethselfish

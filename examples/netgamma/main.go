@@ -1,0 +1,65 @@
+// netgamma studies the network-capability dimension: gamma is the fraction
+// of honest hash power that ends up mining on the pool's branch during a
+// tie, so an attacker that also controls block propagation (an eclipse-
+// style attack) raises its effective gamma. The example sweeps gamma for a
+// mid-sized pool and finds the minimum network capability that makes the
+// attack pay, validating a few points against the simulator.
+//
+// Run with:
+//
+//	go run ./examples/netgamma
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ethselfish/ethselfish"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		alpha  = 0.07 // a 7% pool: below the gamma=0 threshold (~0.098)
+		blocks = 50000
+	)
+
+	fmt.Printf("pool size alpha = %.2f\n\n", alpha)
+	fmt.Printf("%-6s %16s %16s %10s\n", "gamma", "revenue (model)", "revenue (sim)", "profits?")
+
+	breakEven := -1.0
+	for gamma := 0.0; gamma <= 1.0001; gamma += 0.1 {
+		analysis, err := ethselfish.Analyze(alpha, gamma)
+		if err != nil {
+			return err
+		}
+		model := analysis.Revenue().Pool(ethselfish.Scenario1)
+
+		sim, err := ethselfish.Simulate(alpha, gamma, blocks,
+			ethselfish.WithSeed(uint64(1000+gamma*10)), ethselfish.WithRuns(2))
+		if err != nil {
+			return err
+		}
+		profits := model > alpha
+		if profits && breakEven < 0 {
+			breakEven = gamma
+		}
+		fmt.Printf("%-6.1f %16.4f %16.4f %10v\n", gamma, model, sim.PoolRevenue, profits)
+	}
+
+	if breakEven >= 0 {
+		fmt.Printf("\na %.0f%% pool profits once it controls gamma >= %.1f of tie-break\n",
+			alpha*100, breakEven)
+		fmt.Println("propagation. in Bitcoin no gamma below ~0.9 makes a pool this small")
+		fmt.Println("profitable ((1-g)/(3-2g) = 0.07 needs g ~ 0.93) — another face of")
+		fmt.Println("Ethereum's lower bar.")
+	} else {
+		fmt.Println("\nno profitable gamma at this pool size")
+	}
+	return nil
+}

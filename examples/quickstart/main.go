@@ -1,0 +1,58 @@
+// Quickstart: analyze and simulate one selfish-mining configuration.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ethselfish/ethselfish"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		alpha  = 0.30 // the pool controls 30% of hash power
+		gamma  = 0.5  // uniform tie-breaking
+		blocks = 100000
+	)
+
+	// Closed-form analysis (the paper's Markov model).
+	analysis, err := ethselfish.Analyze(alpha, gamma)
+	if err != nil {
+		return err
+	}
+	rev := analysis.Revenue()
+	fmt.Printf("analytic pool revenue:   %.4f (honest mining would earn %.4f)\n",
+		rev.Pool(ethselfish.Scenario1), alpha)
+	fmt.Printf("analytic honest revenue: %.4f\n", rev.Honest(ethselfish.Scenario1))
+	fmt.Printf("profitable under pre-EIP100 difficulty:  %v\n", analysis.Profitable(ethselfish.Scenario1))
+	fmt.Printf("profitable under EIP100-style difficulty: %v\n", analysis.Profitable(ethselfish.Scenario2))
+
+	// Event-driven simulation of the same configuration.
+	result, err := ethselfish.Simulate(alpha, gamma, blocks,
+		ethselfish.WithRuns(3), ethselfish.WithSeed(42))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated pool revenue:  %.4f +/- %.4f (%d runs x %d blocks)\n",
+		result.PoolRevenue, result.PoolRevenueStdErr, result.Runs, result.BlocksPerRun)
+	fmt.Printf("settled blocks: %d regular, %d uncles, %d stale\n",
+		result.RegularBlocks, result.UncleBlocks, result.StaleBlocks)
+
+	// The profitability threshold this alpha clears (paper: 0.054).
+	threshold, err := ethselfish.ProfitThreshold(gamma)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profitability threshold at gamma=%.1f: %.3f\n", gamma, threshold)
+	return nil
+}

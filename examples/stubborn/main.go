@@ -1,0 +1,62 @@
+// stubborn explores the paper's stated future work — alternative mining
+// strategies — by racing the paper's Algorithm 1 against a trail-stubborn
+// variant (which declines the "sure win" at Ls = Lh+1 and keeps racing) and
+// an eager-publishing one, across pool sizes.
+//
+// Run with:
+//
+//	go run ./examples/stubborn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ethselfish/ethselfish"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		gamma  = 0.5
+		blocks = 100000
+		runs   = 4
+	)
+	strategies := []string{"honest", "algorithm1", "eager-publish-2", "trail-stubborn"}
+
+	fmt.Println("simulated pool revenue by strategy (gamma=0.5, scenario 1)")
+	fmt.Printf("%-8s", "alpha")
+	for _, name := range strategies {
+		fmt.Printf(" %16s", name)
+	}
+	fmt.Println()
+
+	for _, alpha := range []float64{0.15, 0.30, 0.45} {
+		fmt.Printf("%-8.2f", alpha)
+		best, bestRevenue := "", 0.0
+		for _, name := range strategies {
+			result, err := ethselfish.Simulate(alpha, gamma, blocks,
+				ethselfish.WithStrategy(name),
+				ethselfish.WithRuns(runs),
+				ethselfish.WithSeed(2026))
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %16.4f", result.PoolRevenue)
+			if result.PoolRevenue > bestRevenue {
+				best, bestRevenue = name, result.PoolRevenue
+			}
+		}
+		fmt.Printf("   <- best: %s\n", best)
+	}
+
+	fmt.Println("\nsmall pools should stick to Algorithm 1; large pools gain even more")
+	fmt.Println("by trail-stubbornness — the risk of losing a lead-1 race is repaid by")
+	fmt.Println("the deeper races it sometimes wins, once alpha is large enough.")
+	return nil
+}

@@ -1,0 +1,107 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tree, ids := fig3(t, true)
+	var buf bytes.Buffer
+	if err := tree.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != tree.Len() {
+		t.Fatalf("decoded %d blocks, want %d", decoded.Len(), tree.Len())
+	}
+	for id := BlockID(0); int(id) < tree.Len(); id++ {
+		a, b := tree.Block(id), decoded.Block(id)
+		if a.Parent != b.Parent || a.Height != b.Height || a.Miner != b.Miner {
+			t.Errorf("block %d differs: %+v vs %+v", id, a, b)
+		}
+		if len(a.Uncles) != len(b.Uncles) {
+			t.Errorf("block %d uncle count differs", id)
+		}
+	}
+	// Classifications survive the round trip.
+	orig := tree.Classify(ids["H1"])
+	redecoded := decoded.Classify(ids["H1"])
+	for i := range orig {
+		if orig[i] != redecoded[i] {
+			t.Errorf("block %d classification differs after round trip", i)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"not json", "not json at all"},
+		{"empty blocks", `{"version":1,"config":{},"blocks":[]}`},
+		{"bad version", `{"version":99,"config":{},"blocks":[{"id":0,"parent":-1,"height":0,"miner":0}]}`},
+		{"bad genesis", `{"version":1,"config":{},"blocks":[{"id":5,"parent":-1,"height":0,"miner":0}]}`},
+		{"out of order", `{"version":1,"config":{},"blocks":[
+			{"id":0,"parent":-1,"height":0,"miner":0},
+			{"id":7,"parent":0,"height":1,"miner":1}]}`},
+		{"dangling parent", `{"version":1,"config":{},"blocks":[
+			{"id":0,"parent":-1,"height":0,"miner":0},
+			{"id":1,"parent":42,"height":1,"miner":1}]}`},
+		{"height mismatch", `{"version":1,"config":{},"blocks":[
+			{"id":0,"parent":-1,"height":0,"miner":0},
+			{"id":1,"parent":0,"height":9,"miner":1}]}`},
+		{"invalid uncle", `{"version":1,"config":{},"blocks":[
+			{"id":0,"parent":-1,"height":0,"miner":0},
+			{"id":1,"parent":0,"height":1,"miner":1,"uncles":[0]}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(tt.give)); !errors.Is(err, ErrDecode) {
+				t.Errorf("err = %v, want ErrDecode", err)
+			}
+		})
+	}
+}
+
+func TestDecodePreservesConfig(t *testing.T) {
+	tree := NewTree(Config{MaxUncleDepth: 6, MaxUnclesPerBlock: 2}, minerGenesis)
+	mustExtend(t, tree, tree.Genesis(), minerPool)
+	var buf bytes.Buffer
+	if err := tree.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored config must enforce the same limits: a too-deep uncle
+	// must still be rejected.
+	if decoded.cfg.MaxUncleDepth != 6 || decoded.cfg.MaxUnclesPerBlock != 2 {
+		t.Errorf("config lost in round trip: %+v", decoded.cfg)
+	}
+}
+
+func TestEncodeStableOutput(t *testing.T) {
+	tree, _, _, b1 := fork(t)
+	mustExtend(t, tree, b1, minerHonest)
+	var a, b bytes.Buffer
+	if err := tree.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Encode is not deterministic")
+	}
+	if !strings.Contains(a.String(), `"version": 1`) {
+		t.Error("missing version field")
+	}
+}

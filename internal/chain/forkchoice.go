@@ -1,0 +1,63 @@
+package chain
+
+// LongestTips returns the block(s) of maximum height, in creation order.
+// With a single element the fork choice is unambiguous; with several, the
+// caller applies its tie-breaking rule (the paper's gamma parameter).
+func (t *Tree) LongestTips() []BlockID {
+	best := -1
+	var tips []BlockID
+	for id := range t.blocks {
+		if len(t.children[id]) > 0 {
+			continue
+		}
+		h := t.blocks[id].Height
+		switch {
+		case h > best:
+			best = h
+			tips = tips[:0]
+			tips = append(tips, BlockID(id))
+		case h == best:
+			tips = append(tips, BlockID(id))
+		}
+	}
+	return tips
+}
+
+// HeaviestTip implements the GHOST fork-choice rule: starting from genesis,
+// repeatedly descend into the child whose subtree contains the most blocks,
+// breaking ties by lowest sequence number (first seen). Ethereum's
+// documentation describes GHOST while its implementation follows the longest
+// chain (see footnote 2 of the paper); both are provided so the difference
+// can be measured.
+func (t *Tree) HeaviestTip() BlockID {
+	weights := t.SubtreeWeights()
+	cursor := t.Genesis()
+	for {
+		kids := t.children[cursor]
+		if len(kids) == 0 {
+			return cursor
+		}
+		best := kids[0]
+		for _, k := range kids[1:] {
+			if weights[k] > weights[best] {
+				best = k
+			}
+		}
+		cursor = best
+	}
+}
+
+// SubtreeWeights returns, for every block, the number of blocks in its
+// subtree (itself included). Blocks are indexed by BlockID.
+func (t *Tree) SubtreeWeights() []int {
+	weights := make([]int, len(t.blocks))
+	// Children always have larger IDs than parents (append-only tree),
+	// so a single reverse sweep accumulates subtree sizes bottom-up.
+	for id := len(t.blocks) - 1; id >= 0; id-- {
+		weights[id]++
+		if p := t.blocks[id].Parent; p != NoBlock {
+			weights[p] += weights[id]
+		}
+	}
+	return weights
+}

@@ -1,0 +1,162 @@
+package chain
+
+import (
+	"fmt"
+
+	"github.com/ethselfish/ethselfish/internal/rewards"
+)
+
+// Reward is a per-miner reward tally, in units of the static block reward.
+type Reward struct {
+	// Static is the total static (regular block) reward.
+	Static float64
+
+	// Uncle is the total uncle reward.
+	Uncle float64
+
+	// Nephew is the total nephew reward.
+	Nephew float64
+}
+
+// Total returns the sum of all reward components.
+func (r Reward) Total() float64 { return r.Static + r.Uncle + r.Nephew }
+
+// Add returns the component-wise sum of two reward tallies.
+func (r Reward) Add(other Reward) Reward {
+	return Reward{
+		Static: r.Static + other.Static,
+		Uncle:  r.Uncle + other.Uncle,
+		Nephew: r.Nephew + other.Nephew,
+	}
+}
+
+// UncleRef describes one realized uncle reference.
+type UncleRef struct {
+	// Uncle is the referenced stale block.
+	Uncle BlockID
+
+	// Nephew is the regular block referencing it.
+	Nephew BlockID
+
+	// Distance is Nephew.Height - Uncle.Height.
+	Distance int
+}
+
+// Settlement is the outcome of settling rewards over a finished tree with
+// respect to a chosen main-chain tip.
+type Settlement struct {
+	// Tip is the main-chain tip the settlement was computed against.
+	Tip BlockID
+
+	// PerMiner maps each miner to its reward tally. Miners that earned
+	// nothing do not appear. The genesis block earns no reward.
+	PerMiner map[MinerID]Reward
+
+	// RegularCount is the number of reward-earning main-chain blocks
+	// (genesis excluded).
+	RegularCount int
+
+	// UncleCount is the number of stale blocks referenced by main-chain
+	// blocks.
+	UncleCount int
+
+	// StaleCount is the number of off-chain blocks that were never
+	// referenced.
+	StaleCount int
+
+	// Refs lists every realized uncle reference.
+	Refs []UncleRef
+}
+
+// Classify returns each block's classification with respect to the
+// settlement's main chain, indexed by BlockID.
+func (t *Tree) Classify(tip BlockID) []Classification {
+	out := make([]Classification, len(t.blocks))
+	for i := range out {
+		out[i] = Stale
+	}
+	for _, id := range t.PathTo(tip) {
+		out[id] = Regular
+	}
+	for _, id := range t.PathTo(tip) {
+		for _, u := range t.blocks[id].Uncles {
+			if out[u] == Regular {
+				// A main-chain block cannot be an uncle; Extend
+				// prevents referencing ancestors, so this would
+				// mean the reference crossed chains.
+				continue
+			}
+			out[u] = Uncle
+		}
+	}
+	return out
+}
+
+// Settle computes rewards for the main chain ending at tip under the given
+// schedule. Uncle references at distances the schedule cannot reference
+// (possible when the tree was built with a laxer depth limit than the
+// schedule) earn nothing but still count as uncles for rate accounting if
+// and only if the schedule allows the distance; they are reported in Refs
+// either way. It returns an error only for an invalid tip.
+func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error) {
+	if !t.Contains(tip) {
+		return Settlement{}, fmt.Errorf("tip %d: %w", tip, ErrUnknownBlock)
+	}
+	s := Settlement{
+		Tip:      tip,
+		PerMiner: make(map[MinerID]Reward),
+	}
+	path := t.PathTo(tip)
+	onChain := make([]bool, len(t.blocks))
+	for _, id := range path {
+		onChain[id] = true
+	}
+
+	referenced := make([]bool, len(t.blocks))
+	for _, id := range path {
+		if id == t.Genesis() {
+			continue
+		}
+		b := t.blocks[id]
+		s.RegularCount++
+		tally := s.PerMiner[b.Miner]
+		tally.Static++
+		for _, u := range b.Uncles {
+			d := b.Height - t.blocks[u].Height
+			s.Refs = append(s.Refs, UncleRef{Uncle: u, Nephew: id, Distance: d})
+			if !schedule.Referenceable(d) {
+				// Too deep for this schedule: the block stays a
+				// stale block for accounting purposes.
+				continue
+			}
+			referenced[u] = true
+			s.UncleCount++
+			tally.Nephew += schedule.Nephew(d)
+			uncleMiner := t.blocks[u].Miner
+			if uncleMiner == b.Miner {
+				tally.Uncle += schedule.Uncle(d)
+				continue
+			}
+			uncleTally := s.PerMiner[uncleMiner]
+			uncleTally.Uncle += schedule.Uncle(d)
+			s.PerMiner[uncleMiner] = uncleTally
+		}
+		s.PerMiner[b.Miner] = tally
+	}
+	for id := range t.blocks {
+		if BlockID(id) == t.Genesis() || onChain[id] || referenced[id] {
+			continue
+		}
+		s.StaleCount++
+	}
+	return s, nil
+}
+
+// TotalReward returns the sum of all miners' rewards in the settlement.
+func (s Settlement) TotalReward() Reward {
+	var total Reward
+	for _, r := range s.PerMiner {
+		total = total.Add(r)
+	}
+	return total
+}

@@ -1,0 +1,247 @@
+package chain
+
+import "fmt"
+
+// Config controls protocol limits enforced by a Tree.
+type Config struct {
+	// MaxUncleDepth is the largest allowed distance (in heights) between
+	// a nephew and the uncles it references. Ethereum uses 6. Zero or
+	// negative means unlimited, matching the paper's abstract model.
+	MaxUncleDepth int
+
+	// MaxUnclesPerBlock bounds the uncle references in one block.
+	// Ethereum uses 2. Zero or negative means unlimited (the paper's
+	// honest miners reference "as many as possible").
+	MaxUnclesPerBlock int
+}
+
+// Tree is an append-only block tree rooted at a genesis block. It is not
+// safe for concurrent use.
+type Tree struct {
+	cfg      Config
+	blocks   []Block
+	children [][]BlockID
+
+	// referencedBy[b] is the block that references b as an uncle, or
+	// NoBlock. The protocol guarantees at most one referencing block per
+	// chain; across competing chains a block could in principle be
+	// referenced twice, which the simulator never does because losers of
+	// a fork stop being extended. Extend enforces per-chain uniqueness
+	// exactly; this index additionally gives O(1) "is referenced"
+	// queries for the single evolving chain.
+	referencedBy []BlockID
+}
+
+// NewTree returns a tree containing only the genesis block, which is
+// attributed to the given miner (conventionally a neutral ID).
+func NewTree(cfg Config, genesisMiner MinerID) *Tree {
+	t := &Tree{cfg: cfg}
+	t.blocks = append(t.blocks, Block{
+		ID:     0,
+		Parent: NoBlock,
+		Height: 0,
+		Miner:  genesisMiner,
+		Seq:    0,
+	})
+	t.children = append(t.children, nil)
+	t.referencedBy = append(t.referencedBy, NoBlock)
+	return t
+}
+
+// Genesis returns the genesis block's ID (always 0).
+func (t *Tree) Genesis() BlockID { return 0 }
+
+// Len returns the number of blocks including genesis.
+func (t *Tree) Len() int { return len(t.blocks) }
+
+// Block returns the block with the given ID. It panics on an invalid ID,
+// which indicates a programming error (IDs are only produced by this tree).
+func (t *Tree) Block(id BlockID) Block {
+	return t.blocks[t.mustIndex(id)]
+}
+
+// Children returns the direct children of a block in creation order.
+func (t *Tree) Children(id BlockID) []BlockID {
+	kids := t.children[t.mustIndex(id)]
+	out := make([]BlockID, len(kids))
+	copy(out, kids)
+	return out
+}
+
+// Height returns the block's height.
+func (t *Tree) Height(id BlockID) int { return t.Block(id).Height }
+
+// Contains reports whether id names a block of this tree.
+func (t *Tree) Contains(id BlockID) bool {
+	return id >= 0 && int(id) < len(t.blocks)
+}
+
+// ReferencedBy returns the block referencing id as an uncle, or NoBlock.
+func (t *Tree) ReferencedBy(id BlockID) BlockID {
+	return t.referencedBy[t.mustIndex(id)]
+}
+
+// Extend appends a new block on the given parent, referencing the given
+// uncles, and returns its ID. The uncle list is validated against the
+// protocol rules; the slice is copied, so the caller may reuse it.
+func (t *Tree) Extend(parent BlockID, miner MinerID, uncles []BlockID) (BlockID, error) {
+	if !t.Contains(parent) {
+		return NoBlock, fmt.Errorf("parent %d: %w", parent, ErrUnknownBlock)
+	}
+	if t.cfg.MaxUnclesPerBlock > 0 && len(uncles) > t.cfg.MaxUnclesPerBlock {
+		return NoBlock, fmt.Errorf("%d uncles (limit %d): %w",
+			len(uncles), t.cfg.MaxUnclesPerBlock, ErrTooManyUncles)
+	}
+	newHeight := t.blocks[parent].Height + 1
+	for i, u := range uncles {
+		for _, prev := range uncles[:i] {
+			if prev == u {
+				return NoBlock, fmt.Errorf("uncle %d: %w", u, ErrDuplicateUncle)
+			}
+		}
+		if err := t.validateUncle(parent, newHeight, u); err != nil {
+			return NoBlock, err
+		}
+	}
+
+	id := BlockID(len(t.blocks))
+	block := Block{
+		ID:     id,
+		Parent: parent,
+		Height: newHeight,
+		Miner:  miner,
+		Seq:    len(t.blocks),
+		Uncles: append([]BlockID(nil), uncles...),
+	}
+	t.blocks = append(t.blocks, block)
+	t.children = append(t.children, nil)
+	t.referencedBy = append(t.referencedBy, NoBlock)
+	t.children[parent] = append(t.children[parent], id)
+	for _, u := range uncles {
+		t.referencedBy[u] = id
+	}
+	return id, nil
+}
+
+// validateUncle checks the Ethereum uncle rules for referencing uncle u from
+// a new block whose parent is parent and whose height is newHeight:
+// the uncle must exist, must not be an ancestor of the new block, its parent
+// must be an ancestor of the new block (i.e. it is a "direct child of the
+// main chain" from the new block's point of view), it must be within the
+// depth limit, and it must not already be referenced on this chain.
+func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
+	if !t.Contains(u) {
+		return fmt.Errorf("uncle %d: %w", u, ErrUnknownBlock)
+	}
+	uncle := t.blocks[u]
+	distance := newHeight - uncle.Height
+	if distance < 1 {
+		// The uncle is at or above the new block's height; it cannot
+		// attach below the new block.
+		return fmt.Errorf("uncle %d at height %d vs new height %d: %w",
+			u, uncle.Height, newHeight, ErrUncleNotAttached)
+	}
+	if t.cfg.MaxUncleDepth > 0 && distance > t.cfg.MaxUncleDepth {
+		return fmt.Errorf("uncle %d at distance %d (limit %d): %w",
+			u, distance, t.cfg.MaxUncleDepth, ErrUncleTooDeep)
+	}
+
+	// Walk up from parent to the uncle's height, checking attachment,
+	// ancestry, and prior references along the way.
+	cursor := parent
+	for t.blocks[cursor].Height > uncle.Height {
+		for _, ref := range t.blocks[cursor].Uncles {
+			if ref == u {
+				return fmt.Errorf("uncle %d referenced by ancestor %d: %w",
+					u, cursor, ErrUncleAlreadyReferenced)
+			}
+		}
+		cursor = t.blocks[cursor].Parent
+	}
+	if cursor == u {
+		return fmt.Errorf("uncle %d: %w", u, ErrUncleIsAncestor)
+	}
+	// cursor is the new block's ancestor at the uncle's height; the
+	// uncle's parent must equal cursor's parent... no: the uncle's parent
+	// must be an ancestor of the new block. Since uncle.Parent has height
+	// uncle.Height-1, it must equal cursor's parent.
+	if uncle.Parent != t.blocks[cursor].Parent {
+		return fmt.Errorf("uncle %d: %w", u, ErrUncleNotAttached)
+	}
+	return nil
+}
+
+// IsAncestor reports whether a is a strict ancestor of b.
+func (t *Tree) IsAncestor(a, b BlockID) bool {
+	ai, bi := t.mustIndex(a), t.mustIndex(b)
+	if t.blocks[ai].Height >= t.blocks[bi].Height {
+		return false
+	}
+	cursor := b
+	for t.blocks[cursor].Height > t.blocks[ai].Height {
+		cursor = t.blocks[cursor].Parent
+	}
+	return cursor == a
+}
+
+// AncestorAt returns b's ancestor at the given height (or b itself when
+// height equals b's height). It panics if height is negative or exceeds b's
+// height.
+func (t *Tree) AncestorAt(b BlockID, height int) BlockID {
+	bi := t.mustIndex(b)
+	if height < 0 || height > t.blocks[bi].Height {
+		panic(fmt.Sprintf("chain: AncestorAt height %d out of range for block at height %d",
+			height, t.blocks[bi].Height))
+	}
+	cursor := b
+	for t.blocks[cursor].Height > height {
+		cursor = t.blocks[cursor].Parent
+	}
+	return cursor
+}
+
+// CommonAncestor returns the deepest common ancestor of a and b.
+func (t *Tree) CommonAncestor(a, b BlockID) BlockID {
+	t.mustIndex(a)
+	t.mustIndex(b)
+	if t.blocks[a].Height > t.blocks[b].Height {
+		a = t.AncestorAt(a, t.blocks[b].Height)
+	} else if t.blocks[b].Height > t.blocks[a].Height {
+		b = t.AncestorAt(b, t.blocks[a].Height)
+	}
+	for a != b {
+		a = t.blocks[a].Parent
+		b = t.blocks[b].Parent
+	}
+	return a
+}
+
+// PathTo returns the chain from genesis to tip, inclusive.
+func (t *Tree) PathTo(tip BlockID) []BlockID {
+	ti := t.mustIndex(tip)
+	path := make([]BlockID, t.blocks[ti].Height+1)
+	cursor := tip
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i] = cursor
+		cursor = t.blocks[cursor].Parent
+	}
+	return path
+}
+
+// Tips returns all leaves (blocks without children) in creation order.
+func (t *Tree) Tips() []BlockID {
+	var tips []BlockID
+	for id := range t.blocks {
+		if len(t.children[id]) == 0 {
+			tips = append(tips, BlockID(id))
+		}
+	}
+	return tips
+}
+
+func (t *Tree) mustIndex(id BlockID) int {
+	if !t.Contains(id) {
+		panic(fmt.Sprintf("chain: invalid block ID %d (tree has %d blocks)", id, len(t.blocks)))
+	}
+	return int(id)
+}

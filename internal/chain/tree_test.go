@@ -1,0 +1,284 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+)
+
+const (
+	minerGenesis MinerID = 0
+	minerHonest  MinerID = 1
+	minerPool    MinerID = 2
+)
+
+func mustExtend(t *testing.T, tree *Tree, parent BlockID, miner MinerID, uncles ...BlockID) BlockID {
+	t.Helper()
+	id, err := tree.Extend(parent, miner, uncles)
+	if err != nil {
+		t.Fatalf("Extend(parent=%d): %v", parent, err)
+	}
+	return id
+}
+
+func TestNewTreeGenesis(t *testing.T) {
+	tree := NewTree(Config{}, minerGenesis)
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tree.Len())
+	}
+	g := tree.Block(tree.Genesis())
+	if g.Height != 0 || g.Parent != NoBlock || g.ID != 0 {
+		t.Errorf("genesis = %+v", g)
+	}
+	if got := tree.Tips(); len(got) != 1 || got[0] != tree.Genesis() {
+		t.Errorf("Tips = %v, want [genesis]", got)
+	}
+}
+
+func TestExtendLinearChain(t *testing.T) {
+	tree := NewTree(Config{}, minerGenesis)
+	prev := tree.Genesis()
+	for h := 1; h <= 5; h++ {
+		prev = mustExtend(t, tree, prev, minerHonest)
+		if got := tree.Height(prev); got != h {
+			t.Fatalf("height = %d, want %d", got, h)
+		}
+	}
+	path := tree.PathTo(prev)
+	if len(path) != 6 {
+		t.Fatalf("path length %d, want 6", len(path))
+	}
+	for i, id := range path {
+		if tree.Height(id) != i {
+			t.Errorf("path[%d] has height %d", i, tree.Height(id))
+		}
+	}
+}
+
+func TestExtendUnknownParent(t *testing.T) {
+	tree := NewTree(Config{}, minerGenesis)
+	if _, err := tree.Extend(99, minerHonest, nil); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("err = %v, want ErrUnknownBlock", err)
+	}
+	if _, err := tree.Extend(NoBlock, minerHonest, nil); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("err = %v, want ErrUnknownBlock", err)
+	}
+}
+
+// fork builds genesis -> a1 -> a2 and a sibling b1 of a2 (child of a1).
+func fork(t *testing.T) (tree *Tree, a1, a2, b1 BlockID) {
+	t.Helper()
+	tree = NewTree(Config{}, minerGenesis)
+	a1 = mustExtend(t, tree, tree.Genesis(), minerPool)
+	a2 = mustExtend(t, tree, a1, minerPool)
+	b1 = mustExtend(t, tree, a1, minerHonest)
+	return tree, a1, a2, b1
+}
+
+func TestUncleReferenceValid(t *testing.T) {
+	tree, _, a2, b1 := fork(t)
+	// a3 on top of a2 references b1 (a sibling of a2, distance 2).
+	a3, err := tree.Extend(a2, minerPool, []BlockID{b1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.ReferencedBy(b1); got != a3 {
+		t.Errorf("ReferencedBy(b1) = %d, want %d", got, a3)
+	}
+	if got := tree.Block(a3).Uncles; len(got) != 1 || got[0] != b1 {
+		t.Errorf("Uncles = %v, want [b1]", got)
+	}
+}
+
+func TestUncleCannotBeAncestor(t *testing.T) {
+	tree, a1, a2, _ := fork(t)
+	if _, err := tree.Extend(a2, minerPool, []BlockID{a1}); !errors.Is(err, ErrUncleIsAncestor) {
+		t.Errorf("err = %v, want ErrUncleIsAncestor", err)
+	}
+	// The direct parent is also an ancestor (distance 1, but on-chain).
+	if _, err := tree.Extend(a2, minerPool, []BlockID{a2}); !errors.Is(err, ErrUncleIsAncestor) {
+		t.Errorf("parent-reference err = %v, want ErrUncleIsAncestor", err)
+	}
+}
+
+func TestUncleMustAttachToChain(t *testing.T) {
+	// Build two separate forks from genesis:
+	//   genesis -> a1 -> a2
+	//   genesis -> c1 -> c2
+	// c2 is NOT a valid uncle for a3 (its parent c1 is not an ancestor
+	// of a3), but c1 is (its parent genesis is).
+	tree := NewTree(Config{}, minerGenesis)
+	a1 := mustExtend(t, tree, tree.Genesis(), minerPool)
+	a2 := mustExtend(t, tree, a1, minerPool)
+	c1 := mustExtend(t, tree, tree.Genesis(), minerHonest)
+	c2 := mustExtend(t, tree, c1, minerHonest)
+
+	if _, err := tree.Extend(a2, minerPool, []BlockID{c2}); !errors.Is(err, ErrUncleNotAttached) {
+		t.Errorf("c2 err = %v, want ErrUncleNotAttached", err)
+	}
+	if _, err := tree.Extend(a2, minerPool, []BlockID{c1}); err != nil {
+		t.Errorf("c1 should be a valid uncle: %v", err)
+	}
+}
+
+func TestUncleDepthLimit(t *testing.T) {
+	tree := NewTree(Config{MaxUncleDepth: 6}, minerGenesis)
+	// Sibling fork at height 1.
+	u := mustExtend(t, tree, tree.Genesis(), minerHonest)
+	prev := mustExtend(t, tree, tree.Genesis(), minerPool)
+	// Extend main chain to height 6; referencing u from height 6 has
+	// distance 5 — fine. From height 7 the distance is 7-1+1... the
+	// distance from a block at height h is h - 1.
+	for h := 2; h <= 6; h++ {
+		prev = mustExtend(t, tree, prev, minerPool)
+	}
+	// prev is at height 6; a child is at height 7, distance 7-1 = 6: ok.
+	child, err := tree.Extend(prev, minerPool, []BlockID{u})
+	if err != nil {
+		t.Fatalf("distance-6 reference should be valid: %v", err)
+	}
+	// Rebuild the scenario one level deeper on a fresh branch.
+	tree2 := NewTree(Config{MaxUncleDepth: 6}, minerGenesis)
+	u2 := mustExtend(t, tree2, tree2.Genesis(), minerHonest)
+	prev2 := mustExtend(t, tree2, tree2.Genesis(), minerPool)
+	for h := 2; h <= 7; h++ {
+		prev2 = mustExtend(t, tree2, prev2, minerPool)
+	}
+	// prev2 at height 7; child at height 8, distance 7: too deep.
+	if _, err := tree2.Extend(prev2, minerPool, []BlockID{u2}); !errors.Is(err, ErrUncleTooDeep) {
+		t.Errorf("err = %v, want ErrUncleTooDeep", err)
+	}
+	_ = child
+}
+
+func TestUncleDepthUnlimitedByDefault(t *testing.T) {
+	tree := NewTree(Config{}, minerGenesis)
+	u := mustExtend(t, tree, tree.Genesis(), minerHonest)
+	prev := mustExtend(t, tree, tree.Genesis(), minerPool)
+	for h := 2; h <= 30; h++ {
+		prev = mustExtend(t, tree, prev, minerPool)
+	}
+	if _, err := tree.Extend(prev, minerPool, []BlockID{u}); err != nil {
+		t.Errorf("unlimited depth tree rejected deep uncle: %v", err)
+	}
+}
+
+func TestUncleDoubleReferenceRejected(t *testing.T) {
+	tree, _, a2, b1 := fork(t)
+	a3 := mustExtend(t, tree, a2, minerPool, b1)
+	if _, err := tree.Extend(a3, minerPool, []BlockID{b1}); !errors.Is(err, ErrUncleAlreadyReferenced) {
+		t.Errorf("err = %v, want ErrUncleAlreadyReferenced", err)
+	}
+}
+
+func TestUncleReferenceOnCompetingChainAllowed(t *testing.T) {
+	// A reference on chain A does not block a reference on chain B:
+	// only ancestors of the new block matter.
+	tree, a1, a2, b1 := fork(t)
+	mustExtend(t, tree, a2, minerPool, b1) // chain A references b1
+	// Chain B: b2 extends b1's sibling... build genesis->a1->c2->c3
+	c2 := mustExtend(t, tree, a1, minerHonest)
+	if _, err := tree.Extend(c2, minerHonest, []BlockID{b1}); err != nil {
+		t.Errorf("cross-chain second reference should be allowed: %v", err)
+	}
+}
+
+func TestDuplicateUncleInOneBlock(t *testing.T) {
+	tree, _, a2, b1 := fork(t)
+	if _, err := tree.Extend(a2, minerPool, []BlockID{b1, b1}); !errors.Is(err, ErrDuplicateUncle) {
+		t.Errorf("err = %v, want ErrDuplicateUncle", err)
+	}
+}
+
+func TestMaxUnclesPerBlock(t *testing.T) {
+	tree := NewTree(Config{MaxUnclesPerBlock: 2}, minerGenesis)
+	a1 := mustExtend(t, tree, tree.Genesis(), minerPool)
+	u1 := mustExtend(t, tree, tree.Genesis(), minerHonest)
+	u2 := mustExtend(t, tree, tree.Genesis(), minerHonest)
+	u3 := mustExtend(t, tree, tree.Genesis(), minerHonest)
+	if _, err := tree.Extend(a1, minerPool, []BlockID{u1, u2, u3}); !errors.Is(err, ErrTooManyUncles) {
+		t.Errorf("err = %v, want ErrTooManyUncles", err)
+	}
+	if _, err := tree.Extend(a1, minerPool, []BlockID{u1, u2}); err != nil {
+		t.Errorf("two uncles should be allowed: %v", err)
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	tree, a1, a2, b1 := fork(t)
+	g := tree.Genesis()
+	tests := []struct {
+		a, b BlockID
+		want bool
+	}{
+		{g, a1, true},
+		{g, a2, true},
+		{g, b1, true},
+		{a1, a2, true},
+		{a1, b1, true},
+		{a2, b1, false},
+		{b1, a2, false},
+		{a2, a2, false}, // strict
+		{a2, g, false},
+	}
+	for _, tt := range tests {
+		if got := tree.IsAncestor(tt.a, tt.b); got != tt.want {
+			t.Errorf("IsAncestor(%d, %d) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAncestorAtAndCommonAncestor(t *testing.T) {
+	tree, a1, a2, b1 := fork(t)
+	if got := tree.AncestorAt(a2, 1); got != a1 {
+		t.Errorf("AncestorAt(a2, 1) = %d, want %d", got, a1)
+	}
+	if got := tree.AncestorAt(a2, 2); got != a2 {
+		t.Errorf("AncestorAt(a2, 2) = %d, want a2 itself", got)
+	}
+	if got := tree.CommonAncestor(a2, b1); got != a1 {
+		t.Errorf("CommonAncestor(a2, b1) = %d, want %d", got, a1)
+	}
+	if got := tree.CommonAncestor(a2, a2); got != a2 {
+		t.Errorf("CommonAncestor(a2, a2) = %d, want a2", got)
+	}
+	if got := tree.CommonAncestor(tree.Genesis(), b1); got != tree.Genesis() {
+		t.Errorf("CommonAncestor(g, b1) = %d, want genesis", got)
+	}
+}
+
+func TestAncestorAtPanicsOutOfRange(t *testing.T) {
+	tree, _, a2, _ := fork(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("AncestorAt above block height should panic")
+		}
+	}()
+	tree.AncestorAt(a2, 3)
+}
+
+func TestChildrenAndTips(t *testing.T) {
+	tree, a1, a2, b1 := fork(t)
+	kids := tree.Children(a1)
+	if len(kids) != 2 || kids[0] != a2 || kids[1] != b1 {
+		t.Errorf("Children(a1) = %v, want [a2 b1]", kids)
+	}
+	tips := tree.Tips()
+	if len(tips) != 2 {
+		t.Errorf("Tips = %v, want two tips", tips)
+	}
+	// Mutating the returned slice must not affect the tree.
+	kids[0] = 999
+	if tree.Children(a1)[0] != a2 {
+		t.Error("Children returned internal storage")
+	}
+}
+
+func TestBlockPanicsOnInvalidID(t *testing.T) {
+	tree := NewTree(Config{}, minerGenesis)
+	defer func() {
+		if recover() == nil {
+			t.Error("Block(99) should panic")
+		}
+	}()
+	tree.Block(99)
+}

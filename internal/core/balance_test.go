@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// These tests check the paper's global balance equations (Eq. 1) directly
+// against the closed-form stationary distribution, independently of the
+// generic chain solver. Each equation is evaluated symbolically from
+// Pi00/PiI0/Pi11/PiIJ with the infinite sums truncated once terms vanish.
+
+// balanceSumDepth bounds the truncated infinite sums. The summands decay
+// like (4*alpha*beta*(1-gamma))^j <= 0.8^j over the tested grid, so 120
+// terms push the truncation error below 1e-10; PiIJ evaluation cost grows
+// quadratically with depth, which keeps this bound deliberate.
+const balanceSumDepth = 120
+
+func TestBalanceEquationPi00(t *testing.T) {
+	// alpha*pi(0,0) = pi(1,1) + beta * sum_j pi(2+j, j).
+	for _, alpha := range []float64{0.15, 0.3, 0.45} {
+		for _, gamma := range []float64{0, 0.3, 0.7, 1} {
+			beta := 1 - alpha
+			lhs := alpha * Pi00(alpha)
+			rhs := Pi11(alpha)
+			// Lead-2 states: (2,0) plus the fork mass G(2).
+			rhs += beta * (PiI0(alpha, 2) + ForkMass(alpha, 2))
+			if math.Abs(lhs-rhs) > 1e-12 {
+				t.Errorf("a=%v g=%v: alpha*pi00 = %.15g, inflow %.15g", alpha, gamma, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBalanceEquationPi11(t *testing.T) {
+	// pi(1,1) = beta * pi(1,0).
+	for _, alpha := range []float64{0.1, 0.25, 0.49} {
+		lhs := Pi11(alpha)
+		rhs := (1 - alpha) * PiI0(alpha, 1)
+		if math.Abs(lhs-rhs) > 1e-15 {
+			t.Errorf("a=%v: pi11 = %v, beta*pi10 = %v", alpha, lhs, rhs)
+		}
+	}
+}
+
+func TestBalanceEquationPiI0(t *testing.T) {
+	// pi(i,0) = alpha * pi(i-1,0) for i >= 1.
+	for _, alpha := range []float64{0.2, 0.4} {
+		for i := 1; i <= 20; i++ {
+			lhs := PiI0(alpha, i)
+			rhs := alpha * PiI0(alpha, i-1)
+			if math.Abs(lhs-rhs) > 1e-15 {
+				t.Errorf("a=%v i=%d: pi(i,0) = %v, alpha*pi(i-1,0) = %v", alpha, i, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBalanceEquationPi31(t *testing.T) {
+	// pi(3,1) = beta*pi(3,0) + sum_j beta*gamma*pi(3+j, j).
+	for _, alpha := range []float64{0.2, 0.35, 0.45} {
+		for _, gamma := range []float64{0, 0.5, 1} {
+			beta := 1 - alpha
+			lhs := PiIJ(alpha, gamma, 3, 1)
+			rhs := beta * PiI0(alpha, 3)
+			for j := 1; j <= balanceSumDepth; j++ {
+				rhs += beta * gamma * PiIJ(alpha, gamma, 3+j, j)
+			}
+			if math.Abs(lhs-rhs) > 1e-9 {
+				t.Errorf("a=%v g=%v: pi31 = %.12g, inflow %.12g", alpha, gamma, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBalanceEquationPiI1(t *testing.T) {
+	// pi(i,1) = beta*pi(i,0) + alpha*pi(i-1,1) + sum_j beta*gamma*pi(i+j,j)
+	// for i >= 4.
+	for _, alpha := range []float64{0.25, 0.45} {
+		for _, gamma := range []float64{0.2, 0.8} {
+			beta := 1 - alpha
+			for i := 4; i <= 7; i++ {
+				lhs := PiIJ(alpha, gamma, i, 1)
+				rhs := beta*PiI0(alpha, i) + alpha*PiIJ(alpha, gamma, i-1, 1)
+				for j := 1; j <= balanceSumDepth; j++ {
+					rhs += beta * gamma * PiIJ(alpha, gamma, i+j, j)
+				}
+				if math.Abs(lhs-rhs) > 1e-9 {
+					t.Errorf("a=%v g=%v i=%d: pi(i,1) = %.12g, inflow %.12g",
+						alpha, gamma, i, lhs, rhs)
+				}
+			}
+		}
+	}
+}
+
+func TestBalanceEquationInterior(t *testing.T) {
+	// pi(i,j) = alpha*pi(i-1,j) + beta*(1-gamma)*pi(i,j-1) for j >= 2,
+	// with the alpha term present only when (i-1,j) is a valid state.
+	for _, alpha := range []float64{0.3, 0.45} {
+		for _, gamma := range []float64{0.1, 0.6} {
+			beta := 1 - alpha
+			for i := 4; i <= 12; i++ {
+				for j := 2; j <= i-2; j++ {
+					lhs := PiIJ(alpha, gamma, i, j)
+					rhs := beta * (1 - gamma) * PiIJ(alpha, gamma, i, j-1)
+					if i-1-j >= 2 {
+						rhs += alpha * PiIJ(alpha, gamma, i-1, j)
+					}
+					if math.Abs(lhs-rhs) > 1e-12 {
+						t.Errorf("a=%v g=%v (%d,%d): pi = %.12g, inflow %.12g",
+							alpha, gamma, i, j, lhs, rhs)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClosedFormTotalMassIsOne(t *testing.T) {
+	// The lead-aggregated closed form must normalize exactly:
+	// pi00*(1 + a + a*b + a^2/(1-2a)) = 1.
+	f := func(rawAlpha float64) bool {
+		alpha := 0.01 + math.Mod(math.Abs(rawAlpha), 0.48)
+		total := Pi00(alpha) + PiI0(alpha, 1) + Pi11(alpha)
+		for lead := 2; lead <= 4000; lead++ {
+			total += LeadProb(alpha, lead)
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRevenueConservationProperty(t *testing.T) {
+	// For random (alpha, gamma): static rates stay within [0,1], nephew
+	// conservation holds, and scenario revenues are consistent.
+	f := func(rawAlpha, rawGamma float64) bool {
+		alpha := 0.01 + math.Mod(math.Abs(rawAlpha), 0.48)
+		gamma := math.Mod(math.Abs(rawGamma), 1)
+		m, err := New(Params{Alpha: alpha, Gamma: gamma})
+		if err != nil {
+			return false
+		}
+		rev := m.Revenue()
+		if rev.RegularRate <= 0 || rev.RegularRate > 1+1e-12 {
+			return false
+		}
+		if math.Abs(rev.PoolStatic+rev.HonestStatic-rev.RegularRate) > 1e-12 {
+			return false
+		}
+		if math.Abs(rev.PoolNephew+rev.HonestNephew-rev.UncleRate/32) > 1e-12 {
+			return false
+		}
+		if math.Abs(rev.UncleRate-(rev.PoolUncleRate+rev.HonestUncleRate)) > 1e-12 {
+			return false
+		}
+		// Regular + uncle blocks can never outnumber all blocks.
+		if rev.RegularRate+rev.UncleRate > 1+1e-12 {
+			return false
+		}
+		return rev.PoolAbsolute(Scenario2) <= rev.PoolAbsolute(Scenario1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericAndClosedRevenueAgree(t *testing.T) {
+	// The truncated chain attribution must match the exact closed-form
+	// aggregation at parameters where the truncation tail is negligible.
+	for _, alpha := range []float64{0.15, 0.3, 0.42} {
+		for _, gamma := range []float64{0.3, 0.6, 1} {
+			closed, err := New(Params{Alpha: alpha, Gamma: gamma})
+			if err != nil {
+				t.Fatal(err)
+			}
+			numeric, err := NewNumeric(Params{Alpha: alpha, Gamma: gamma, MaxLead: testMaxLead})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr := closed.Revenue()
+			nr := numeric.Revenue()
+			pairs := []struct {
+				name           string
+				closedV, numcV float64
+			}{
+				{"pool static", cr.PoolStatic, nr.PoolStatic},
+				{"honest static", cr.HonestStatic, nr.HonestStatic},
+				{"pool uncle", cr.PoolUncle, nr.PoolUncle},
+				{"honest uncle", cr.HonestUncle, nr.HonestUncle},
+				{"pool nephew", cr.PoolNephew, nr.PoolNephew},
+				{"honest nephew", cr.HonestNephew, nr.HonestNephew},
+				{"uncle rate", cr.UncleRate, nr.UncleRate},
+			}
+			for _, p := range pairs {
+				if math.Abs(p.closedV-p.numcV) > 1e-6 {
+					t.Errorf("a=%v g=%v %s: closed %.10g vs numeric %.10g",
+						alpha, gamma, p.name, p.closedV, p.numcV)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import "math"
+
+// This file implements the closed-form stationary distribution of Sec. IV-C
+// (Eq. 2) including the multiple-summation helper f(x,y,z) from Appendix A,
+// plus two aggregate identities that make the revenue analysis exact without
+// any state-space truncation:
+//
+// The lead process L(t) = Ls(t) - Lh(t) is a lumping of the 2-D chain. From
+// any state with lead l >= 3, a pool block moves the lead to l+1 (rate a)
+// and an honest block to l-1 (rate b), regardless of j; from lead 2 an
+// honest block resets to (0,0). The lumped chain is therefore a birth-death
+// chain, and cut balance gives the exact geometric law
+//
+//	piL(l) = a^l / b^(l-1) * pi00,   l >= 2,
+//
+// with piL(l) the total stationary mass at lead l. Combining with
+// pi(i,0) = a^i pi00 yields the off-consensus fork mass
+//
+//	G(l) = sum_{j>=1} pi(l+j, j) = piL(l) - pi(l,0).
+//
+// Summing piL over l >= 2 reproduces the paper's normalization constant
+// exactly: pi00 * (1 + a + ab + a^2/(1-2a)) = 1 gives
+// pi00 = (1-2a)/(2a^3 - 4a^2 + 1).
+
+// Pi00 returns the closed-form stationary probability of state (0,0):
+//
+//	pi(0,0) = (1-2a) / (2a^3 - 4a^2 + 1).
+func Pi00(alpha float64) float64 {
+	return (1 - 2*alpha) / denom(alpha)
+}
+
+// PiI0 returns the closed-form stationary probability of state (i,0):
+// pi(i,0) = a^i * pi(0,0) for i >= 1.
+func PiI0(alpha float64, i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return math.Pow(alpha, float64(i)) * Pi00(alpha)
+}
+
+// Pi11 returns the closed-form stationary probability of state (1,1):
+// pi(1,1) = (a - a^2) * pi(0,0).
+func Pi11(alpha float64) float64 {
+	return alpha * (1 - alpha) * Pi00(alpha)
+}
+
+// LeadProb returns piL(l), the total stationary probability of all states
+// with lead l = Ls - Lh. Leads 0 and 1 are special: lead 0 aggregates (0,0)
+// and (1,1); lead 1 is state (1,0).
+func LeadProb(alpha float64, lead int) float64 {
+	switch {
+	case lead < 0:
+		return 0
+	case lead == 0:
+		return Pi00(alpha) + Pi11(alpha)
+	case lead == 1:
+		return PiI0(alpha, 1)
+	default:
+		// a^l / b^(l-1) computed as a*(a/b)^(l-1): the separate powers
+		// would both underflow to 0 (giving NaN) for very large leads,
+		// while the ratio form underflows gracefully.
+		a, b := alpha, 1-alpha
+		return a * math.Pow(a/b, float64(lead-1)) * Pi00(alpha)
+	}
+}
+
+// ForkMass returns G(l) = sum_{j>=1} pi(l+j, j), the stationary mass of
+// lead-l states that carry a live public fork (j >= 1), for l >= 2.
+func ForkMass(alpha float64, lead int) float64 {
+	if lead < 2 {
+		return 0
+	}
+	return LeadProb(alpha, lead) - PiI0(alpha, lead)
+}
+
+// PiIJ returns the closed-form stationary probability of state (i,j) for
+// i >= j+2, j >= 1 (the general entry of Eq. 2):
+//
+//	pi(i,j) = a^i (1-a)^j (1-g)^j f(i,j,j) pi00
+//	        + a^(i-j) g (1-g)^(j-1) (1/(1-a)^(i-j-1) - 1) pi00
+//	        - g (1-g)^(j-1) sum_{k=1..j} a^(i-k) (1-a)^(j-k) f(i,j,j-k) pi00.
+func PiIJ(alpha, gamma float64, i, j int) float64 {
+	if j < 1 || i < j+2 {
+		return 0
+	}
+	var (
+		a    = alpha
+		b    = 1 - alpha
+		g    = gamma
+		pi00 = Pi00(alpha)
+	)
+	term1 := math.Pow(a, float64(i)) * math.Pow(b, float64(j)) *
+		math.Pow(1-g, float64(j)) * MultiSum(i, j, j)
+	term2 := math.Pow(a, float64(i-j)) * g * math.Pow(1-g, float64(j-1)) *
+		(1/math.Pow(b, float64(i-j-1)) - 1)
+	var term3 float64
+	for k := 1; k <= j; k++ {
+		term3 += math.Pow(a, float64(i-k)) * math.Pow(b, float64(j-k)) *
+			MultiSum(i, j, j-k)
+	}
+	term3 *= g * math.Pow(1-g, float64(j-1))
+	return (term1 + term2 - term3) * pi00
+}
+
+// MultiSum evaluates the nested-summation counting function f(x,y,z) of
+// Appendix A:
+//
+//	f(x,y,z) = sum_{s_z=y+2}^{x} sum_{s_{z-1}=y+1}^{s_z} ...
+//	           sum_{s_1=y-z+3}^{s_2} 1        for z >= 1 and x >= y+2,
+//	f(x,y,z) = 0                               otherwise.
+//
+// The k-th index (k = 1..z) has lower bound y-z+k+2 and upper bound s_{k+1}
+// (with s_{z+1} = x). The count is evaluated by dynamic programming in
+// float64: the counts grow combinatorially and would overflow int64 for
+// moderately large arguments, while float64 keeps ~16 significant digits,
+// ample for comparing stationary probabilities.
+func MultiSum(x, y, z int) float64 {
+	if z < 1 || x < y+2 {
+		return 0
+	}
+	// count[v] = number of valid tuples (s_1..s_k) with s_k = v.
+	// Level k has lower bound lb(k) = y - z + k + 2.
+	lb := func(k int) int { return y - z + k + 2 }
+
+	// Values range over [lb(1), x]; use an offset array.
+	lo := lb(1)
+	size := x - lo + 1
+	if size <= 0 {
+		return 0
+	}
+	count := make([]float64, size)
+	for v := lb(1); v <= x; v++ {
+		count[v-lo] = 1
+	}
+	for k := 2; k <= z; k++ {
+		// prefix at v = number of tuples with s_{k-1} <= v.
+		next := make([]float64, size)
+		var prefix float64
+		for v := lo; v <= x; v++ {
+			prefix += count[v-lo]
+			if v >= lb(k) {
+				next[v-lo] = prefix
+			}
+		}
+		count = next
+	}
+	var total float64
+	for _, c := range count {
+		total += c
+	}
+	return total
+}
+
+// denom is the common denominator 2a^3 - 4a^2 + 1 of the closed forms.
+func denom(alpha float64) float64 {
+	return 2*alpha*alpha*alpha - 4*alpha*alpha + 1
+}

@@ -1,0 +1,29 @@
+package core
+
+// Closed-form revenue expressions from Sec. IV-E1. They depend only on
+// alpha and gamma (plus Ku(1) for the pool's uncles) and cross-validate the
+// general chain-based attribution in Revenue.
+
+// PoolStaticClosed returns Eq. (3):
+//
+//	r_b^s = (a(1-a)^2 (4a + g(1-2a)) - a^3) / (2a^3 - 4a^2 + 1).
+func PoolStaticClosed(alpha, gamma float64) float64 {
+	a, g := alpha, gamma
+	return (a*(1-a)*(1-a)*(4*a+g*(1-2*a)) - a*a*a) / denom(a)
+}
+
+// HonestStaticClosed returns Eq. (4):
+//
+//	r_b^h = (1-2a)(1-a)(a(1-a)(2-g) + 1) / (2a^3 - 4a^2 + 1).
+func HonestStaticClosed(alpha, gamma float64) float64 {
+	a, g := alpha, gamma
+	return (1 - 2*a) * (1 - a) * (a*(1-a)*(2-g) + 1) / denom(a)
+}
+
+// PoolUncleClosed returns Eq. (5):
+//
+//	r_u^s = (1-2a)(1-a)^2 a (1-g) / (2a^3 - 4a^2 + 1) * Ku(1).
+func PoolUncleClosed(alpha, gamma, ku1 float64) float64 {
+	a, g := alpha, gamma
+	return (1 - 2*a) * (1 - a) * (1 - a) * a * (1 - g) / denom(a) * ku1
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/rewards"
+)
+
+func TestClosedFormStaticRevenues(t *testing.T) {
+	// Eqs. (3) and (4) against the chain-based attribution.
+	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4, 0.45} {
+		for _, gamma := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			m := newTestModel(t, alpha, gamma)
+			rev := m.Revenue()
+			if got, want := rev.PoolStatic, PoolStaticClosed(alpha, gamma); math.Abs(got-want) > 1e-9 {
+				t.Errorf("a=%v g=%v: r_b^s = %.10g, Eq.(3) %.10g", alpha, gamma, got, want)
+			}
+			if got, want := rev.HonestStatic, HonestStaticClosed(alpha, gamma); math.Abs(got-want) > 1e-9 {
+				t.Errorf("a=%v g=%v: r_b^h = %.10g, Eq.(4) %.10g", alpha, gamma, got, want)
+			}
+		}
+	}
+}
+
+func TestClosedFormPoolUncleRevenue(t *testing.T) {
+	// Eq. (5) with Ethereum's Ku(1) = 7/8.
+	for _, alpha := range []float64{0.1, 0.3, 0.45} {
+		for _, gamma := range []float64{0, 0.5, 1} {
+			m := newTestModel(t, alpha, gamma)
+			rev := m.Revenue()
+			want := PoolUncleClosed(alpha, gamma, 7.0/8)
+			if math.Abs(rev.PoolUncle-want) > 1e-9 {
+				t.Errorf("a=%v g=%v: r_u^s = %.10g, Eq.(5) %.10g",
+					alpha, gamma, rev.PoolUncle, want)
+			}
+		}
+	}
+}
+
+func TestStaticRewardRateBounds(t *testing.T) {
+	// Sec. IV-E1: r_b^s + r_b^h <= 1, with equality only without forks.
+	for _, alpha := range []float64{0.05, 0.2, 0.45} {
+		m := newTestModel(t, alpha, 0.5)
+		rev := m.Revenue()
+		sum := rev.PoolStatic + rev.HonestStatic
+		if sum > 1+1e-12 {
+			t.Errorf("a=%v: static rate %v exceeds 1", alpha, sum)
+		}
+		if sum <= 0 {
+			t.Errorf("a=%v: static rate %v not positive", alpha, sum)
+		}
+		if math.Abs(sum-rev.RegularRate) > 1e-12 {
+			t.Errorf("a=%v: RegularRate %v != static sum %v", alpha, rev.RegularRate, sum)
+		}
+	}
+}
+
+func TestNephewConservation(t *testing.T) {
+	// Every referenced uncle grants exactly one nephew reward of 1/32
+	// under the Ethereum schedule, so nephew revenue must equal
+	// UncleRate/32 (this is what the paper's literal Eq. (8) violates).
+	for _, alpha := range []float64{0.1, 0.3, 0.45} {
+		for _, gamma := range []float64{0, 0.5, 1} {
+			m := newTestModel(t, alpha, gamma)
+			rev := m.Revenue()
+			got := rev.PoolNephew + rev.HonestNephew
+			want := rev.UncleRate / 32
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("a=%v g=%v: nephew total %v, want UncleRate/32 = %v",
+					alpha, gamma, got, want)
+			}
+		}
+	}
+}
+
+func TestLiteralEq8UndercountsPoolNephew(t *testing.T) {
+	// The paper's printed Eq. (8) coefficient loses pool nephew mass for
+	// leads >= 3 relative to the conservation-consistent attribution.
+	consistent, err := New(Params{Alpha: 0.4, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	literal, err := New(Params{Alpha: 0.4, Gamma: 0.5, LiteralEq8: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := consistent.Revenue()
+	rl := literal.Revenue()
+	if rl.PoolNephew >= rc.PoolNephew {
+		t.Errorf("literal Eq.(8) pool nephew %v should undercount consistent %v",
+			rl.PoolNephew, rc.PoolNephew)
+	}
+	// Everything else must be identical.
+	if rl.PoolStatic != rc.PoolStatic || rl.HonestUncle != rc.HonestUncle ||
+		rl.HonestNephew != rc.HonestNephew {
+		t.Error("literal Eq.(8) changed unrelated revenue components")
+	}
+}
+
+func TestBitcoinScheduleReducesToEyalSirer(t *testing.T) {
+	// Remark 4: with only static rewards, the pool's share matches the
+	// Eyal-Sirer relative revenue; the absolute scenario-1 revenue
+	// coincides with the share.
+	for _, alpha := range []float64{0.15, 0.3, 0.42} {
+		for _, gamma := range []float64{0, 0.5, 1} {
+			m, err := New(Params{
+				Alpha:    alpha,
+				Gamma:    gamma,
+				Schedule: rewards.Bitcoin(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev := m.Revenue()
+			if rev.PoolUncle != 0 || rev.HonestUncle != 0 ||
+				rev.PoolNephew != 0 || rev.HonestNephew != 0 {
+				t.Fatalf("a=%v g=%v: Bitcoin schedule paid uncle/nephew rewards", alpha, gamma)
+			}
+			share := rev.PoolShare()
+			abs1 := rev.PoolAbsolute(Scenario1)
+			if math.Abs(share-abs1) > 1e-12 {
+				t.Errorf("a=%v g=%v: share %v != scenario-1 absolute %v",
+					alpha, gamma, share, abs1)
+			}
+			// Eyal-Sirer closed form for the pool's relative revenue.
+			a, g := alpha, gamma
+			es := (a*(1-a)*(1-a)*(4*a+g*(1-2*a)) - a*a*a) /
+				(1 - a*(1+(2-a)*a))
+			if math.Abs(share-es) > 1e-9 {
+				t.Errorf("a=%v g=%v: share %v, Eyal-Sirer %v", alpha, gamma, share, es)
+			}
+		}
+	}
+}
+
+func TestPoolUnclesAlwaysDistanceOne(t *testing.T) {
+	// Remark 5: the pool's uncles are always referenced at distance 1,
+	// so its uncle revenue equals PoolUncleRate * Ku(1).
+	m := newTestModel(t, 0.35, 0.5)
+	rev := m.Revenue()
+	if rev.PoolUncleRate <= 0 {
+		t.Fatal("pool uncle rate should be positive at gamma=0.5")
+	}
+	if got, want := rev.PoolUncle, rev.PoolUncleRate*7.0/8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("pool uncle revenue %v, want rate*7/8 = %v", got, want)
+	}
+}
+
+func TestGammaOneNoPoolUncles(t *testing.T) {
+	// At gamma = 1 every honest miner mines on the pool's block during
+	// ties, so the pool's block never becomes an uncle (Eq. 5 -> 0).
+	m := newTestModel(t, 0.3, 1)
+	rev := m.Revenue()
+	if rev.PoolUncle != 0 || rev.PoolUncleRate != 0 {
+		t.Errorf("gamma=1: pool uncle revenue %v rate %v, want 0", rev.PoolUncle, rev.PoolUncleRate)
+	}
+}
+
+func TestRevenueScenarios(t *testing.T) {
+	m := newTestModel(t, 0.3, 0.5)
+	rev := m.Revenue()
+	if rev.UncleRate <= 0 {
+		t.Fatal("uncle rate should be positive")
+	}
+	u1 := rev.PoolAbsolute(Scenario1)
+	u2 := rev.PoolAbsolute(Scenario2)
+	if u2 >= u1 {
+		t.Errorf("scenario-2 revenue %v should be below scenario-1 %v (bigger normalizer)", u2, u1)
+	}
+	t1 := rev.TotalAbsolute(Scenario1)
+	if t1 <= 1 {
+		t.Errorf("scenario-1 total %v should exceed 1 (uncle rewards add on top)", t1)
+	}
+	if got := rev.PoolShare(); got <= 0 || got >= 1 {
+		t.Errorf("pool share %v out of (0,1)", got)
+	}
+	if got := rev.PoolAbsolute(Scenario1) + rev.HonestAbsolute(Scenario1); math.Abs(got-rev.TotalAbsolute(Scenario1)) > 1e-12 {
+		t.Error("pool + honest absolute != total absolute")
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Scenario1.String() != "scenario1" || Scenario2.String() != "scenario2" {
+		t.Error("scenario names wrong")
+	}
+	if Scenario(99).String() != "scenario?" {
+		t.Error("unknown scenario name wrong")
+	}
+}
+
+func TestFig8AnchorRevenueAtThreshold(t *testing.T) {
+	// Fig. 8 (gamma = 0.5, flat Ku = 4/8): at alpha = 0.163 the pool's
+	// scenario-1 absolute revenue crosses alpha.
+	sched, err := rewards.Constant(0.5, rewards.NoDepthLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Params{Alpha: 0.163, Gamma: 0.5, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Revenue().PoolAbsolute(Scenario1)
+	if math.Abs(got-0.163) > 0.002 {
+		t.Errorf("U_s(0.163) = %v, want ~0.163 (Fig. 8 threshold)", got)
+	}
+}
+
+func TestFig9TotalRevenueAnchor(t *testing.T) {
+	// Fig. 9: with Ku = 7/8 and alpha = 0.45 the total scenario-1
+	// revenue soars to about 135% of the no-selfish-mining baseline.
+	sched, err := rewards.Constant(7.0/8, rewards.NoDepthLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Params{Alpha: 0.45, Gamma: 0.5, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Revenue().TotalAbsolute(Scenario1)
+	if math.Abs(got-1.35) > 0.03 {
+		t.Errorf("total revenue = %v, want ~1.35 (Fig. 9)", got)
+	}
+}
+
+func TestHonestMiningBaseline(t *testing.T) {
+	// As alpha -> 0 the pool's absolute revenue approaches alpha
+	// (selfish mining neither helps nor hurts much); at tiny alpha the
+	// pool must not earn more than honest mining.
+	m := newTestModel(t, 0.02, 0.5)
+	rev := m.Revenue()
+	us := rev.PoolAbsolute(Scenario1)
+	if us >= 0.02 {
+		t.Errorf("U_s(0.02) = %v, should be below alpha (selfish mining unprofitable)", us)
+	}
+	if us < 0.01 {
+		t.Errorf("U_s(0.02) = %v, implausibly low", us)
+	}
+}

@@ -1,0 +1,247 @@
+// Package difficulty models the difficulty-adjustment rules whose contrast
+// motivates the paper's two revenue scenarios (Sec. II-C, IV-E2):
+//
+//   - Pre-Byzantium (and Bitcoin): difficulty targets the growth rate of the
+//     main chain only. Under selfish mining, uncle and nephew rewards are
+//     paid on top of a fixed regular-block rate, so total issuance inflates
+//     (scenario 1).
+//   - EIP100 (Byzantium): difficulty targets the regular-plus-uncle rate, so
+//     extra uncles slow the chain and issuance stays bounded (scenario 2).
+//
+// The package provides a retargeting controller and an epoch-driven
+// simulation coupling the controller to the selfish-mining simulator, which
+// demonstrates that the paper's scenario normalizations emerge from the
+// difficulty rules rather than being assumed.
+package difficulty
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/rewards"
+	"github.com/ethselfish/ethselfish/internal/rng"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+// Rule selects which block production the controller counts.
+type Rule int
+
+// The two difficulty rules studied.
+const (
+	// BitcoinStyle counts only main-chain (regular) blocks, like
+	// Bitcoin's retarget and Ethereum before EIP100.
+	BitcoinStyle Rule = iota + 1
+
+	// EIP100 counts regular plus referenced uncle blocks, like
+	// Byzantium's adjustment.
+	EIP100
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	switch r {
+	case BitcoinStyle:
+		return "bitcoin-style"
+	case EIP100:
+		return "eip100"
+	default:
+		return fmt.Sprintf("rule(%d)", int(r))
+	}
+}
+
+// maxRetargetFactor bounds a single retarget step, as Bitcoin's consensus
+// rules do (factor 4).
+const maxRetargetFactor = 4.0
+
+// ErrBadController is returned for invalid controller parameters.
+var ErrBadController = errors.New("difficulty: invalid controller parameters")
+
+// Controller is a multiplicative retargeting controller: after each epoch it
+// scales difficulty by observedRate/targetRate, clamped to the maximum
+// retarget factor.
+type Controller struct {
+	rule       Rule
+	targetRate float64
+	difficulty float64
+}
+
+// NewController returns a controller with the given rule, target counted-
+// block rate (blocks per unit time) and initial difficulty.
+func NewController(rule Rule, targetRate, initial float64) (*Controller, error) {
+	if rule != BitcoinStyle && rule != EIP100 {
+		return nil, fmt.Errorf("%w: unknown rule %d", ErrBadController, rule)
+	}
+	if !(targetRate > 0) || math.IsInf(targetRate, 0) {
+		return nil, fmt.Errorf("%w: target rate %v", ErrBadController, targetRate)
+	}
+	if !(initial > 0) || math.IsInf(initial, 0) {
+		return nil, fmt.Errorf("%w: initial difficulty %v", ErrBadController, initial)
+	}
+	return &Controller{rule: rule, targetRate: targetRate, difficulty: initial}, nil
+}
+
+// Rule returns the controller's counting rule.
+func (c *Controller) Rule() Rule { return c.rule }
+
+// Difficulty returns the current difficulty.
+func (c *Controller) Difficulty() float64 { return c.difficulty }
+
+// Counted returns the block count the rule pays attention to.
+func (c *Controller) Counted(regular, uncles int) int {
+	if c.rule == EIP100 {
+		return regular + uncles
+	}
+	return regular
+}
+
+// Retarget updates the difficulty after observing counted blocks over the
+// given elapsed time. A zero observation halves... rather, the clamp bounds
+// every step to the maximum retarget factor in either direction.
+func (c *Controller) Retarget(counted int, elapsed float64) {
+	if elapsed <= 0 {
+		return
+	}
+	observed := float64(counted) / elapsed
+	factor := observed / c.targetRate
+	if factor > maxRetargetFactor {
+		factor = maxRetargetFactor
+	}
+	if factor < 1/maxRetargetFactor {
+		factor = 1 / maxRetargetFactor
+	}
+	c.difficulty *= factor
+}
+
+// SimConfig couples a controller to the selfish-mining simulator.
+type SimConfig struct {
+	// Alpha and Gamma parameterize the attack.
+	Alpha, Gamma float64
+
+	// Schedule is the reward schedule (zero value: Ethereum).
+	Schedule rewards.Schedule
+
+	// Rule selects the difficulty rule.
+	Rule Rule
+
+	// TargetRate is the desired counted-block rate per unit time.
+	TargetRate float64
+
+	// Epochs and BlocksPerEpoch control the retargeting horizon.
+	Epochs, BlocksPerEpoch int
+
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// EpochStats records one epoch of the coupled simulation.
+type EpochStats struct {
+	// Difficulty in force during the epoch.
+	Difficulty float64
+
+	// Elapsed physical time of the epoch.
+	Elapsed float64
+
+	// RegularRate and UncleRate are realized block rates per unit time.
+	RegularRate, UncleRate float64
+
+	// RewardRate is total issued rewards (static + uncle + nephew) per
+	// unit time — the quantity a difficulty rule is supposed to keep
+	// bounded.
+	RewardRate float64
+}
+
+// Simulate runs the coupled difficulty/selfish-mining simulation. Each epoch
+// mines BlocksPerEpoch events at the current difficulty (hash power 1, so
+// the event rate is 1/difficulty), settles rewards, then retargets.
+func Simulate(cfg SimConfig) ([]EpochStats, error) {
+	if cfg.Epochs <= 0 || cfg.BlocksPerEpoch <= 0 {
+		return nil, fmt.Errorf("%w: epochs and blocks per epoch must be positive", ErrBadController)
+	}
+	if math.IsNaN(cfg.Alpha) || !(cfg.Alpha > 0 && cfg.Alpha < 0.5) {
+		// At alpha >= 0.5 the private branch never loses its lead and
+		// races never resolve; the retargeting loop would be
+		// meaningless.
+		return nil, fmt.Errorf("%w: alpha %v out of (0, 0.5)", ErrBadController, cfg.Alpha)
+	}
+	ctrl, err := NewController(cfg.Rule, cfg.TargetRate, 1)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := mining.TwoAgent(cfg.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("difficulty: %w", err)
+	}
+	random := rng.New(cfg.Seed)
+
+	epochs := make([]EpochStats, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		result, err := sim.Run(sim.Config{
+			Population: pop,
+			Gamma:      cfg.Gamma,
+			Schedule:   cfg.Schedule,
+			Blocks:     cfg.BlocksPerEpoch,
+			Seed:       random.Uint64(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Physical time: block events arrive at rate 1/difficulty.
+		var elapsed float64
+		rate := 1 / ctrl.Difficulty()
+		for i := 0; i < cfg.BlocksPerEpoch; i++ {
+			elapsed += random.Exp(rate)
+		}
+		totalReward := result.Pool.Total() + result.Honest.Total()
+		epochs = append(epochs, EpochStats{
+			Difficulty:  ctrl.Difficulty(),
+			Elapsed:     elapsed,
+			RegularRate: float64(result.RegularCount) / elapsed,
+			UncleRate:   float64(result.UncleCount) / elapsed,
+			RewardRate:  totalReward / elapsed,
+		})
+		ctrl.Retarget(ctrl.Counted(result.RegularCount, result.UncleCount), elapsed)
+	}
+	return epochs, nil
+}
+
+// SteadyState averages the trailing half of the epochs, where the controller
+// has converged.
+func SteadyState(epochs []EpochStats) EpochStats {
+	if len(epochs) == 0 {
+		return EpochStats{}
+	}
+	tail := epochs[len(epochs)/2:]
+	var out EpochStats
+	for _, e := range tail {
+		out.Difficulty += e.Difficulty
+		out.Elapsed += e.Elapsed
+		out.RegularRate += e.RegularRate
+		out.UncleRate += e.UncleRate
+		out.RewardRate += e.RewardRate
+	}
+	n := float64(len(tail))
+	out.Difficulty /= n
+	out.Elapsed /= n
+	out.RegularRate /= n
+	out.UncleRate /= n
+	out.RewardRate /= n
+	return out
+}
+
+// PredictedRewardRate returns the analytic steady-state reward rate for a
+// difficulty rule: target * TotalAbsolute(scenario), with scenario 1 for
+// BitcoinStyle and scenario 2 for EIP100.
+func PredictedRewardRate(cfg SimConfig) (float64, error) {
+	m, err := core.New(core.Params{Alpha: cfg.Alpha, Gamma: cfg.Gamma, Schedule: cfg.Schedule})
+	if err != nil {
+		return 0, err
+	}
+	scenario := core.Scenario1
+	if cfg.Rule == EIP100 {
+		scenario = core.Scenario2
+	}
+	return cfg.TargetRate * m.Revenue().TotalAbsolute(scenario), nil
+}

@@ -1,0 +1,156 @@
+package difficulty
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestControllerValidation(t *testing.T) {
+	tests := []struct {
+		name            string
+		rule            Rule
+		target, initial float64
+	}{
+		{"unknown rule", Rule(0), 1, 1},
+		{"zero target", BitcoinStyle, 0, 1},
+		{"negative target", BitcoinStyle, -1, 1},
+		{"zero difficulty", EIP100, 1, 0},
+		{"NaN target", EIP100, math.NaN(), 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewController(tt.rule, tt.target, tt.initial); !errors.Is(err, ErrBadController) {
+				t.Errorf("err = %v, want ErrBadController", err)
+			}
+		})
+	}
+}
+
+func TestControllerRetargetDirection(t *testing.T) {
+	c, err := NewController(BitcoinStyle, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks arriving twice as fast as the target double the difficulty.
+	c.Retarget(200, 100)
+	if math.Abs(c.Difficulty()-200) > 1e-9 {
+		t.Errorf("difficulty = %v, want 200", c.Difficulty())
+	}
+	// Blocks arriving at half the target rate halve it again.
+	c.Retarget(50, 100)
+	if math.Abs(c.Difficulty()-100) > 1e-9 {
+		t.Errorf("difficulty = %v, want 100", c.Difficulty())
+	}
+}
+
+func TestControllerRetargetClamped(t *testing.T) {
+	c, err := NewController(BitcoinStyle, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Retarget(1000000, 1) // observed rate 1e6: clamp to 4x
+	if math.Abs(c.Difficulty()-400) > 1e-9 {
+		t.Errorf("difficulty = %v, want clamped 400", c.Difficulty())
+	}
+	c.Retarget(0, 1000000) // observed ~0: clamp to /4
+	if math.Abs(c.Difficulty()-100) > 1e-9 {
+		t.Errorf("difficulty = %v, want clamped 100", c.Difficulty())
+	}
+	c.Retarget(5, 0) // zero elapsed: ignored
+	if math.Abs(c.Difficulty()-100) > 1e-9 {
+		t.Errorf("difficulty = %v, want unchanged 100", c.Difficulty())
+	}
+}
+
+func TestCountedPerRule(t *testing.T) {
+	btc, err := NewController(BitcoinStyle, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eip, err := NewController(EIP100, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := btc.Counted(100, 7); got != 100 {
+		t.Errorf("BitcoinStyle counted = %d, want 100", got)
+	}
+	if got := eip.Counted(100, 7); got != 107 {
+		t.Errorf("EIP100 counted = %d, want 107", got)
+	}
+	if BitcoinStyle.String() != "bitcoin-style" || EIP100.String() != "eip100" {
+		t.Error("rule names wrong")
+	}
+}
+
+func TestSimulateConvergesToTargets(t *testing.T) {
+	// Under each rule, the counted rate must converge to the target.
+	base := SimConfig{
+		Alpha:          0.35,
+		Gamma:          0.5,
+		TargetRate:     1,
+		Epochs:         30,
+		BlocksPerEpoch: 20000,
+		Seed:           7,
+	}
+	btcCfg := base
+	btcCfg.Rule = BitcoinStyle
+	btc, err := Simulate(btcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eipCfg := base
+	eipCfg.Rule = EIP100
+	eip, err := Simulate(eipCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	btcSteady := SteadyState(btc)
+	eipSteady := SteadyState(eip)
+	if math.Abs(btcSteady.RegularRate-1) > 0.05 {
+		t.Errorf("bitcoin-style regular rate %v, want ~1", btcSteady.RegularRate)
+	}
+	if got := eipSteady.RegularRate + eipSteady.UncleRate; math.Abs(got-1) > 0.05 {
+		t.Errorf("eip100 regular+uncle rate %v, want ~1", got)
+	}
+	// The paper's point: uncle-blind difficulty lets selfish mining
+	// inflate issuance; EIP100 keeps it lower.
+	if btcSteady.RewardRate <= eipSteady.RewardRate {
+		t.Errorf("bitcoin-style reward rate %v should exceed eip100's %v",
+			btcSteady.RewardRate, eipSteady.RewardRate)
+	}
+	// Quantitative check against the analytic prediction.
+	for _, tc := range []struct {
+		cfg    SimConfig
+		steady EpochStats
+	}{
+		{btcCfg, btcSteady},
+		{eipCfg, eipSteady},
+	} {
+		want, err := PredictedRewardRate(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tc.steady.RewardRate-want) > 0.05*want {
+			t.Errorf("%v: reward rate %v, analytic %v", tc.cfg.Rule, tc.steady.RewardRate, want)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{Rule: EIP100, TargetRate: 1}); err == nil {
+		t.Error("zero epochs should fail")
+	}
+	if _, err := Simulate(SimConfig{
+		Rule: EIP100, TargetRate: 1, Epochs: 1, BlocksPerEpoch: 10, Alpha: 0.7,
+	}); err == nil {
+		t.Error("alpha out of range should fail")
+	}
+}
+
+func TestSteadyStateEmpty(t *testing.T) {
+	if got := SteadyState(nil); got != (EpochStats{}) {
+		t.Errorf("SteadyState(nil) = %+v, want zero", got)
+	}
+}

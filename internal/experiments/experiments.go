@@ -1,0 +1,81 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver returns typed rows and can render itself
+// as a text table, so the command-line harness, the benchmarks, and the
+// tests all share the same code paths.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+// Paper-scale simulation defaults (Sec. V: averages of 10 runs, each
+// generating 100,000 blocks).
+const (
+	// DefaultRuns is the paper's run count per data point.
+	DefaultRuns = 10
+
+	// DefaultBlocks is the paper's blocks per run.
+	DefaultBlocks = 100000
+
+	// QuickRuns and QuickBlocks trade precision for speed; used by the
+	// benchmarks and tests.
+	QuickRuns   = 2
+	QuickBlocks = 20000
+)
+
+// ErrBadOptions is returned for invalid experiment options.
+var ErrBadOptions = errors.New("experiments: invalid options")
+
+// Options scales the simulation effort behind each experiment.
+type Options struct {
+	// Runs is the number of independent simulation runs per data point
+	// (zero: DefaultRuns).
+	Runs int
+
+	// Blocks is the number of block events per run (zero:
+	// DefaultBlocks).
+	Blocks int
+
+	// Seed derives per-run seeds (zero is a valid seed).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs == 0 {
+		o.Runs = DefaultRuns
+	}
+	if o.Blocks == 0 {
+		o.Blocks = DefaultBlocks
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Runs < 0 || o.Blocks < 0 {
+		return fmt.Errorf("%w: negative runs or blocks", ErrBadOptions)
+	}
+	return nil
+}
+
+// Quick returns options sized for fast regeneration (benchmarks, smoke
+// tests); the shapes of all results survive the reduction.
+func Quick() Options {
+	return Options{Runs: QuickRuns, Blocks: QuickBlocks}
+}
+
+// simSeries runs the simulator at one (alpha, gamma) point.
+func simSeries(alpha float64, opts Options, build func(pop *mining.Population) sim.Config) (sim.Series, error) {
+	pop, err := mining.TwoAgent(alpha)
+	if err != nil {
+		return sim.Series{}, err
+	}
+	cfg := build(pop)
+	cfg.Population = pop
+	cfg.Blocks = opts.Blocks
+	cfg.Seed = opts.Seed + uint64(alpha*1e6)
+	return sim.RunMany(cfg, opts.Runs)
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/sim"
+	"github.com/ethselfish/ethselfish/internal/table"
+)
+
+// strategyAlphas is the hash-power sweep for the strategy comparison.
+var strategyAlphas = []float64{0.15, 0.25, 0.35, 0.45}
+
+// StrategiesRow is one alpha point of the strategy comparison: simulated
+// scenario-1 pool revenue per strategy.
+type StrategiesRow struct {
+	Alpha float64
+
+	// Revenue is indexed like StrategiesResult.Names.
+	Revenue []float64
+}
+
+// StrategiesResult is the mining-strategy comparison — the paper's stated
+// future work ("the design of new mining strategies"), evaluated on the
+// simulator: Algorithm 1 against an honest control, early-committing, and
+// trail-stubborn variants.
+type StrategiesResult struct {
+	Names []string
+	Rows  []StrategiesRow
+}
+
+// Strategies runs the comparison at gamma = 0.5.
+func Strategies(opts Options) (StrategiesResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return StrategiesResult{}, err
+	}
+	variants := []sim.Strategy{
+		sim.HonestStrategy{},
+		sim.Algorithm1{},
+		sim.EagerPublish{Lead: 2},
+		sim.EagerPublish{Lead: 4},
+		sim.TrailStubborn{},
+	}
+	var out StrategiesResult
+	for _, v := range variants {
+		out.Names = append(out.Names, v.Name())
+	}
+	for _, alpha := range strategyAlphas {
+		row := StrategiesRow{Alpha: alpha}
+		for _, variant := range variants {
+			variant := variant
+			series, err := simSeries(alpha, opts, func(*mining.Population) sim.Config {
+				return sim.Config{Gamma: fig8Gamma, Strategy: variant}
+			})
+			if err != nil {
+				return StrategiesResult{}, err
+			}
+			acc := series.PoolAbsolute(core.Scenario1)
+			row.Revenue = append(row.Revenue, acc.Mean())
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Best returns the winning strategy name at the given row.
+func (r StrategiesResult) Best(row int) string {
+	best := 0
+	for i, revenue := range r.Rows[row].Revenue {
+		if revenue > r.Rows[row].Revenue[best] {
+			best = i
+		}
+	}
+	return r.Names[best]
+}
+
+// Table renders the comparison.
+func (r StrategiesResult) Table() *table.Table {
+	headers := append([]string{"alpha"}, r.Names...)
+	t := table.New(
+		"Strategy comparison — simulated pool revenue (gamma=0.5, scenario 1)",
+		headers...,
+	)
+	for _, row := range r.Rows {
+		_ = t.AddNumericRow(formatAlpha(row.Alpha), 4, row.Revenue...)
+	}
+	return t
+}

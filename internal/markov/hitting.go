@@ -1,0 +1,91 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnknownState is returned when a queried state is not in the chain.
+var ErrUnknownState = errors.New("markov: unknown state")
+
+// HittingTimes returns the expected number of steps to first reach target
+// from every state (0 for the target itself). It solves
+//
+//	h(s) = 1 + sum_t P(s,t) h(t)   for s != target, h(target) = 0
+//
+// by damped fixed-point iteration, which converges for irreducible chains.
+func (c *Chain[S]) HittingTimes(target S, opts Options) (map[S]float64, error) {
+	ti, seen := c.index[target]
+	if !seen {
+		return nil, fmt.Errorf("target %v: %w", target, ErrUnknownState)
+	}
+	if !opts.SkipChecks {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if !c.IsIrreducible() {
+			return nil, ErrReducible
+		}
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+
+	n := len(c.state)
+	h := make([]float64, n)
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		var delta float64
+		for s := 0; s < n; s++ {
+			if s == ti {
+				next[s] = 0
+				continue
+			}
+			val := 1.0
+			for _, e := range c.out[s] {
+				if e.to == ti {
+					continue
+				}
+				val += e.p * h[e.to]
+			}
+			delta += math.Abs(val - h[s])
+			next[s] = val
+		}
+		h, next = next, h
+		if delta < tol {
+			result := make(map[S]float64, n)
+			for i, v := range h {
+				result[c.state[i]] = v
+			}
+			return result, nil
+		}
+	}
+	return nil, fmt.Errorf("after %d iterations: %w", maxIter, ErrNoConvergence)
+}
+
+// ExpectedReturnTime returns the expected number of steps for the chain to
+// return to s when started there. By Kac's formula this equals
+// 1/pi(s); the function computes it from first-step analysis instead
+// (1 + sum of P(s,t)*h(t) over the hitting times to s), so comparing the
+// two is an independent consistency check.
+func (c *Chain[S]) ExpectedReturnTime(s S, opts Options) (float64, error) {
+	si, seen := c.index[s]
+	if !seen {
+		return 0, fmt.Errorf("state %v: %w", s, ErrUnknownState)
+	}
+	h, err := c.HittingTimes(s, opts)
+	if err != nil {
+		return 0, err
+	}
+	val := 1.0
+	for _, e := range c.out[si] {
+		val += e.p * h[c.state[e.to]]
+	}
+	return val, nil
+}

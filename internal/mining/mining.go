@@ -1,0 +1,182 @@
+// Package mining models the PoW block-production process. Following
+// Sec. III-A of the paper, mining is a series of Bernoulli trials whose
+// success probability is small enough that block production is a Poisson
+// process: the i-th miner with hash-power fraction m_i produces blocks at
+// rate f*m_i. After rescaling time by the total rate f, the winner of each
+// block event is simply a categorical draw weighted by hash power, and
+// inter-arrival times are Exp(1).
+package mining
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ethselfish/ethselfish/internal/chain"
+	"github.com/ethselfish/ethselfish/internal/rng"
+)
+
+// Errors returned by population constructors.
+var (
+	// ErrNoMiners is returned for an empty population.
+	ErrNoMiners = errors.New("mining: population has no miners")
+
+	// ErrBadPower is returned when a miner's hash power is not a
+	// positive finite number.
+	ErrBadPower = errors.New("mining: miner hash power must be positive")
+)
+
+// Miner describes one participant.
+type Miner struct {
+	// ID is the miner's identifier, used for reward attribution.
+	ID chain.MinerID
+
+	// Power is the miner's hash power. Powers are relative weights;
+	// the population normalizes them.
+	Power float64
+
+	// Selfish marks members of the colluding pool.
+	Selfish bool
+}
+
+// Population is a fixed set of miners with normalized hash powers.
+type Population struct {
+	miners  []Miner
+	weights []float64
+	alpha   float64
+}
+
+// NewPopulation validates and normalizes the miner set. Miner IDs must be
+// unique. The fraction of selfish power (alpha) is computed from the
+// normalized weights.
+func NewPopulation(miners []Miner) (*Population, error) {
+	if len(miners) == 0 {
+		return nil, ErrNoMiners
+	}
+	var total float64
+	seen := make(map[chain.MinerID]bool, len(miners))
+	for _, m := range miners {
+		if !(m.Power > 0) || m.Power > 1e18 {
+			return nil, fmt.Errorf("miner %d power %v: %w", m.ID, m.Power, ErrBadPower)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("mining: duplicate miner ID %d", m.ID)
+		}
+		seen[m.ID] = true
+		total += m.Power
+	}
+	p := &Population{
+		miners:  append([]Miner(nil), miners...),
+		weights: make([]float64, len(miners)),
+	}
+	for i, m := range miners {
+		p.weights[i] = m.Power / total
+		if m.Selfish {
+			p.alpha += p.weights[i]
+		}
+	}
+	return p, nil
+}
+
+// Equal builds the paper's simulation population: n miners with identical
+// block-generation rates, the first selfishCount of them forming the
+// selfish pool (Sec. V: n = 1000, selfishCount <= 450). Miner IDs are
+// 1..n; ID 0 is reserved for the genesis block.
+func Equal(n, selfishCount int) (*Population, error) {
+	if n <= 0 {
+		return nil, ErrNoMiners
+	}
+	if selfishCount < 0 || selfishCount > n {
+		return nil, fmt.Errorf("mining: selfish count %d out of [0, %d]", selfishCount, n)
+	}
+	miners := make([]Miner, n)
+	for i := range miners {
+		miners[i] = Miner{
+			ID:      chain.MinerID(i + 1),
+			Power:   1,
+			Selfish: i < selfishCount,
+		}
+	}
+	return NewPopulation(miners)
+}
+
+// TwoAgent builds the aggregate two-miner population used by the analysis:
+// one selfish pool with power alpha and one honest aggregate with power
+// 1-alpha. alpha must lie in (0, 1).
+func TwoAgent(alpha float64) (*Population, error) {
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("mining: alpha %v out of (0, 1)", alpha)
+	}
+	return NewPopulation([]Miner{
+		{ID: 1, Power: alpha, Selfish: true},
+		{ID: 2, Power: 1 - alpha},
+	})
+}
+
+// Len returns the number of miners.
+func (p *Population) Len() int { return len(p.miners) }
+
+// Alpha returns the total selfish hash-power fraction.
+func (p *Population) Alpha() float64 { return p.alpha }
+
+// Miner returns the i-th miner (0-based) with its normalized power.
+func (p *Population) Miner(i int) Miner {
+	m := p.miners[i]
+	m.Power = p.weights[i]
+	return m
+}
+
+// Miners returns all miners with normalized powers.
+func (p *Population) Miners() []Miner {
+	out := make([]Miner, p.Len())
+	for i := range out {
+		out[i] = p.Miner(i)
+	}
+	return out
+}
+
+// Sample draws the producer of the next block, weighted by hash power.
+func (p *Population) Sample(r *rng.Source) Miner {
+	return p.miners[r.Categorical(p.weights)]
+}
+
+// NextEvent draws the next block event under a Poisson race at the given
+// total rate: the winning miner and the exponentially distributed waiting
+// time since the previous event.
+func (p *Population) NextEvent(r *rng.Source, totalRate float64) (Miner, float64) {
+	return p.Sample(r), r.Exp(totalRate)
+}
+
+// BernoulliDelay simulates the un-approximated mining model: repeated
+// Bernoulli trials with per-trial success probability prob, returning the
+// number of trials until the first success (geometric, support 1,2,...).
+// As prob -> 0 with trials per unit time 1/prob, the normalized delay
+// converges to Exp(1) — the Poisson approximation the paper invokes.
+func BernoulliDelay(r *rng.Source, prob float64) int {
+	if prob <= 0 || prob > 1 {
+		panic(fmt.Sprintf("mining: Bernoulli probability %v out of (0, 1]", prob))
+	}
+	trials := 1
+	for !r.Bernoulli(prob) {
+		trials++
+	}
+	return trials
+}
+
+// PoolShare is one entry of the 2018 Ethereum mining-pool snapshot.
+type PoolShare struct {
+	Name  string
+	Share float64 // fraction of total hash power
+}
+
+// Ethereum2018Pools returns the top-5 pool hash-power distribution of
+// Fig. 6 (etherscan snapshot, September 2018).
+func Ethereum2018Pools() []PoolShare {
+	return []PoolShare{
+		{Name: "Ethermine", Share: 0.2634},
+		{Name: "SparkPool", Share: 0.2246},
+		{Name: "F2Pool", Share: 0.1337},
+		{Name: "Nanopool", Share: 0.1033},
+		{Name: "MiningPoolHub", Share: 0.0878},
+		{Name: "Others", Share: 0.1872},
+	}
+}

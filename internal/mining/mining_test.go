@@ -1,0 +1,243 @@
+package mining
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/chain"
+	"github.com/ethselfish/ethselfish/internal/rng"
+)
+
+func TestNewPopulationNormalizes(t *testing.T) {
+	p, err := NewPopulation([]Miner{
+		{ID: 1, Power: 30, Selfish: true},
+		{ID: 2, Power: 70},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Alpha(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Alpha = %v, want 0.3", got)
+	}
+	if got := p.Miner(0).Power; math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("normalized power = %v, want 0.3", got)
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+}
+
+func TestNewPopulationValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		miners []Miner
+	}{
+		{"empty", nil},
+		{"zero power", []Miner{{ID: 1, Power: 0}}},
+		{"negative power", []Miner{{ID: 1, Power: -1}}},
+		{"NaN power", []Miner{{ID: 1, Power: math.NaN()}}},
+		{"inf power", []Miner{{ID: 1, Power: math.Inf(1)}}},
+		{"duplicate ID", []Miner{{ID: 1, Power: 1}, {ID: 1, Power: 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPopulation(tt.miners); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestEqualPopulation(t *testing.T) {
+	p, err := Equal(1000, 450)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Alpha(); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("Alpha = %v, want 0.45", got)
+	}
+	if p.Len() != 1000 {
+		t.Errorf("Len = %d, want 1000", p.Len())
+	}
+	// IDs 1..n, no ID 0 (reserved for genesis).
+	for i, m := range p.Miners() {
+		if m.ID != chain.MinerID(i+1) {
+			t.Fatalf("miner %d has ID %d, want %d", i, m.ID, i+1)
+		}
+		if got := m.Selfish; got != (i < 450) {
+			t.Fatalf("miner %d selfish = %v", i, got)
+		}
+	}
+}
+
+func TestEqualPopulationValidation(t *testing.T) {
+	if _, err := Equal(0, 0); !errors.Is(err, ErrNoMiners) {
+		t.Errorf("Equal(0,0) err = %v, want ErrNoMiners", err)
+	}
+	if _, err := Equal(10, 11); err == nil {
+		t.Error("Equal(10,11) should fail")
+	}
+	if _, err := Equal(10, -1); err == nil {
+		t.Error("Equal(10,-1) should fail")
+	}
+}
+
+func TestTwoAgent(t *testing.T) {
+	p, err := TwoAgent(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Alpha(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Alpha = %v, want 0.3", got)
+	}
+	for _, alpha := range []float64{0, 1, -0.1, 1.1, math.NaN()} {
+		if _, err := TwoAgent(alpha); err == nil {
+			t.Errorf("TwoAgent(%v) should fail", alpha)
+		}
+	}
+}
+
+func TestSampleFrequencies(t *testing.T) {
+	p, err := NewPopulation([]Miner{
+		{ID: 1, Power: 1, Selfish: true},
+		{ID: 2, Power: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(101)
+	const n = 100000
+	selfish := 0
+	for i := 0; i < n; i++ {
+		if p.Sample(r).Selfish {
+			selfish++
+		}
+	}
+	got := float64(selfish) / n
+	sigma := math.Sqrt(0.25 * 0.75 / n)
+	if math.Abs(got-0.25) > 5*sigma {
+		t.Errorf("selfish frequency %v deviates more than 5 sigma from 0.25", got)
+	}
+}
+
+func TestNextEventTiming(t *testing.T) {
+	p, err := TwoAgent(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	const (
+		n    = 100000
+		rate = 2.0
+	)
+	var sum float64
+	for i := 0; i < n; i++ {
+		_, dt := p.NextEvent(r, rate)
+		if dt < 0 {
+			t.Fatal("negative waiting time")
+		}
+		sum += dt
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("mean waiting time %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestBernoulliDelayGeometric(t *testing.T) {
+	r := rng.New(55)
+	const (
+		prob = 0.01
+		n    = 50000
+	)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(BernoulliDelay(r, prob))
+	}
+	mean := sum / n
+	want := 1 / prob
+	if math.Abs(mean-want) > 0.05*want {
+		t.Errorf("mean trials %v, want %v +/- 5%%", mean, want)
+	}
+}
+
+func TestBernoulliDelayPoissonApproximation(t *testing.T) {
+	// Normalized geometric delays (trials * prob) converge to Exp(1):
+	// compare the empirical survival function at a few points.
+	r := rng.New(77)
+	const (
+		prob = 1e-3
+		n    = 20000
+	)
+	exceed1, exceed2 := 0, 0
+	for i := 0; i < n; i++ {
+		x := float64(BernoulliDelay(r, prob)) * prob
+		if x > 1 {
+			exceed1++
+		}
+		if x > 2 {
+			exceed2++
+		}
+	}
+	if got, want := float64(exceed1)/n, math.Exp(-1); math.Abs(got-want) > 0.02 {
+		t.Errorf("P(X>1) = %v, want %v +/- 0.02", got, want)
+	}
+	if got, want := float64(exceed2)/n, math.Exp(-2); math.Abs(got-want) > 0.02 {
+		t.Errorf("P(X>2) = %v, want %v +/- 0.02", got, want)
+	}
+}
+
+func TestBernoulliDelayPanics(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BernoulliDelay(%v) did not panic", p)
+				}
+			}()
+			BernoulliDelay(rng.New(1), p)
+		}()
+	}
+}
+
+func TestEthereum2018Pools(t *testing.T) {
+	pools := Ethereum2018Pools()
+	if len(pools) != 6 {
+		t.Fatalf("got %d pools, want 6", len(pools))
+	}
+	var total float64
+	for _, p := range pools {
+		total += p.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", total)
+	}
+	if pools[0].Name != "Ethermine" || math.Abs(pools[0].Share-0.2634) > 1e-12 {
+		t.Errorf("top pool = %+v, want Ethermine 26.34%%", pools[0])
+	}
+	// Paper: top two pools dominate 48.8% of total hash power.
+	if got := pools[0].Share + pools[1].Share; math.Abs(got-0.488) > 1e-9 {
+		t.Errorf("top-2 share = %v, want 0.488", got)
+	}
+	// Paper: top five pools have more than 81%.
+	var top5 float64
+	for _, p := range pools[:5] {
+		top5 += p.Share
+	}
+	if top5 <= 0.81 {
+		t.Errorf("top-5 share = %v, want > 0.81", top5)
+	}
+}
+
+func TestMinersReturnsCopy(t *testing.T) {
+	p, err := TwoAgent(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := p.Miners()
+	ms[0].Power = 99
+	if p.Miner(0).Power == 99 {
+		t.Error("Miners exposed internal state")
+	}
+}

@@ -1,0 +1,177 @@
+// Package rng provides a small, deterministic pseudo-random number generator
+// suite used throughout the simulator.
+//
+// Reproducibility is a first-class requirement for the experiments in this
+// repository: a simulation run is fully determined by its seed, independent
+// of Go version or platform. The package therefore implements its own
+// generator (xoshiro256** seeded via splitmix64) instead of relying on
+// math/rand, whose stream is not guaranteed stable across releases.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	// goldenGamma is the splitmix64 increment (2^64 / phi, rounded to odd).
+	goldenGamma = 0x9E3779B97F4A7C15
+
+	// float64Unit converts a 53-bit integer into a float64 in [0, 1).
+	float64Unit = 1.0 / (1 << 53)
+)
+
+// Source is a deterministic xoshiro256** generator. It is not safe for
+// concurrent use; create one Source per goroutine (see Split).
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, as recommended by the
+// xoshiro authors. Distinct seeds give statistically independent streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += goldenGamma
+		src.s[i] = splitmix64(sm)
+	}
+	// xoshiro256** must not be seeded with the all-zero state; splitmix64
+	// cannot produce four zero outputs from any seed, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = goldenGamma
+	}
+	return &src
+}
+
+// Split derives an independent child generator from the current state. The
+// parent advances, so successive Split calls return distinct streams.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Uint64 returns the next value of the xoshiro256** sequence.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * float64Unit
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0; this mirrors
+// math/rand and signals a programming error rather than a runtime condition.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, bound) using Lemire's
+// multiply-shift rejection method, which avoids modulo bias.
+func (r *Source) boundedUint64(bound uint64) uint64 {
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return hi
+		}
+	}
+}
+
+// Bernoulli reports true with probability p. Values of p outside [0, 1] are
+// clamped: p <= 0 never fires and p >= 1 always fires.
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp called with non-positive rate")
+	}
+	// Use 1 - Float64() so the argument to Log is in (0, 1]; Log(0) would
+	// return -Inf.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Categorical draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. Negative weights are treated as zero. It panics
+// if the total weight is not positive, which indicates a configuration error.
+func (r *Source) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("rng: Categorical called with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Floating-point round-off can leave x barely above zero after the
+	// loop; return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator; it is a strong
+// 64-bit mixer used for seeding.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func rotl(x uint64, k int) uint64 {
+	return bits.RotateLeft64(x, k)
+}

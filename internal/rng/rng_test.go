@@ -1,0 +1,346 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestNewZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		t.Fatal("seed 0 produced the forbidden all-zero state")
+	}
+	if a, b := r.Uint64(), r.Uint64(); a == b {
+		t.Errorf("consecutive draws equal: %d", a)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child1 := parent.Split()
+	child2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if child1.Uint64() == child2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split children produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("draw %d: Float64() = %v out of [0,1)", i, f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean = %v, want 0.5 +/- 0.005", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("variance = %v, want 1/12 +/- 0.005", variance)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const (
+		buckets = 10
+		n       = 100000
+	)
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates more than 5 sigma from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) did not fire")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) fired")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) did not fire")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(17)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		const n = 100000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		sigma := math.Sqrt(p * (1 - p) / n)
+		if math.Abs(got-p) > 5*sigma {
+			t.Errorf("Bernoulli(%v): frequency %v deviates more than 5 sigma", p, got)
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(19)
+	for _, rate := range []float64{0.5, 1, 2, 10} {
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := r.Exp(rate)
+			if x < 0 {
+				t.Fatalf("Exp(%v) returned negative %v", rate, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		want := 1 / rate
+		if math.Abs(mean-want) > 0.02*want {
+			t.Errorf("Exp(%v): mean %v, want %v +/- 2%%", rate, mean, want)
+		}
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	r := New(23)
+	weights := []float64{1, 2, 0, 3, 4}
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[2])
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d: frequency %v, want %v +/- 0.01", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalNegativeWeightsIgnored(t *testing.T) {
+	r := New(29)
+	weights := []float64{-1, 1, -5}
+	for i := 0; i < 1000; i++ {
+		if got := r.Categorical(weights); got != 1 {
+			t.Fatalf("Categorical drew index %d with weight %v", got, weights[got])
+		}
+	}
+}
+
+func TestCategoricalPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Categorical with zero total weight did not panic")
+		}
+	}()
+	New(1).Categorical([]float64{0, 0})
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	r := New(37)
+	identity := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		p := r.Perm(5)
+		isIdentity := true
+		for j, v := range p {
+			if v != j {
+				isIdentity = false
+				break
+			}
+		}
+		if isIdentity {
+			identity++
+		}
+	}
+	// P(identity) = 1/120; expect ~8 of 1000. 40 is > 10 sigma away.
+	if identity > 40 {
+		t.Errorf("identity permutation occurred %d/%d times; shuffle is biased", identity, trials)
+	}
+}
+
+func TestSplitmix64Avalanche(t *testing.T) {
+	// The splitmix64 finalizer is a strong mixer: flipping a single input
+	// bit should flip close to half of the 64 output bits on average.
+	var totalFlips, samples int
+	for seed := uint64(1); seed < 1000; seed++ {
+		base := splitmix64(seed)
+		for bit := 0; bit < 64; bit += 7 {
+			flipped := splitmix64(seed ^ 1<<bit)
+			totalFlips += popcount(base ^ flipped)
+			samples++
+		}
+	}
+	avg := float64(totalFlips) / float64(samples)
+	if avg < 28 || avg > 36 {
+		t.Errorf("avalanche average = %v flipped bits, want close to 32", avg)
+	}
+}
+
+func TestSplitmix64Injective(t *testing.T) {
+	// splitmix64 is a bijection on uint64; no collisions may occur.
+	seen := make(map[uint64]uint64, 10000)
+	for x := uint64(0); x < 10000; x++ {
+		y := splitmix64(x)
+		if prev, dup := seen[y]; dup {
+			t.Fatalf("collision: splitmix64(%d) == splitmix64(%d) == %#x", x, prev, y)
+		}
+		seen[y] = x
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestBoundedUint64Property(t *testing.T) {
+	r := New(41)
+	f := func(bound uint64) bool {
+		if bound == 0 {
+			return true
+		}
+		return r.boundedUint64(bound) < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Float64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(1)
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/ethselfish/ethselfish/internal/chain"
+	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/stats"
+)
+
+// Result summarizes one simulation run. Counts refer to the settled chain:
+// the race still in flight when the run ends is excluded.
+type Result struct {
+	// Alpha is the population's selfish hash-power fraction.
+	Alpha float64
+
+	// Blocks is the number of simulated block events.
+	Blocks int
+
+	// Pool and Honest aggregate rewards by camp.
+	Pool   chain.Reward
+	Honest chain.Reward
+
+	// PerMiner holds each miner's reward tally.
+	PerMiner map[chain.MinerID]chain.Reward
+
+	// RegularCount, UncleCount and StaleCount classify settled blocks.
+	RegularCount int
+	UncleCount   int
+	StaleCount   int
+
+	// PoolUncleDistances and HonestUncleDistances count realized
+	// reference distances by the uncle's camp.
+	PoolUncleDistances   stats.Counter
+	HonestUncleDistances stats.Counter
+
+	// Occupancy counts block events by the (Ls, Lh) state observed just
+	// before the event; normalizing estimates the stationary
+	// distribution.
+	Occupancy map[core.State]int64
+}
+
+// normalizer returns the scenario's block count (regular, or regular plus
+// referenced uncles).
+func (r Result) normalizer(s core.Scenario) float64 {
+	n := float64(r.RegularCount)
+	if s == core.Scenario2 {
+		n += float64(r.UncleCount)
+	}
+	return n
+}
+
+// PoolAbsolute returns the pool's absolute revenue per rescaled time unit,
+// the quantity plotted in Fig. 8 (scenario 1 divides by regular blocks,
+// scenario 2 by regular plus uncle blocks).
+func (r Result) PoolAbsolute(s core.Scenario) float64 {
+	n := r.normalizer(s)
+	if n == 0 {
+		return 0
+	}
+	return r.Pool.Total() / n
+}
+
+// HonestAbsolute returns the honest miners' absolute revenue per rescaled
+// time unit.
+func (r Result) HonestAbsolute(s core.Scenario) float64 {
+	n := r.normalizer(s)
+	if n == 0 {
+		return 0
+	}
+	return r.Honest.Total() / n
+}
+
+// TotalAbsolute returns the system-wide absolute revenue per rescaled time
+// unit (the "Total" series of Fig. 9).
+func (r Result) TotalAbsolute(s core.Scenario) float64 {
+	return r.PoolAbsolute(s) + r.HonestAbsolute(s)
+}
+
+// PoolShare returns the pool's relative share of all rewards.
+func (r Result) PoolShare() float64 {
+	total := r.Pool.Total() + r.Honest.Total()
+	if total == 0 {
+		return 0
+	}
+	return r.Pool.Total() / total
+}
+
+// StateProbability estimates the stationary probability of state s from the
+// occupancy counts.
+func (r Result) StateProbability(s core.State) float64 {
+	if r.Blocks == 0 {
+		return 0
+	}
+	return float64(r.Occupancy[s]) / float64(r.Blocks)
+}
+
+// Run executes one simulation and settles it.
+func Run(cfg Config) (Result, error) {
+	result, _, err := RunTrace(cfg)
+	return result, err
+}
+
+// RunTrace executes one simulation and additionally returns the full block
+// tree, for trace export and post-hoc analysis. The tree retains every
+// block including losers of resolved races and the pool's never-published
+// blocks.
+func RunTrace(cfg Config) (Result, *chain.Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, nil, err
+	}
+	s := newSimulator(cfg)
+	if err := s.run(); err != nil {
+		return Result{}, nil, err
+	}
+
+	settlement, err := s.tree.Settle(s.base, cfg.Schedule)
+	if err != nil {
+		return Result{}, nil, fmt.Errorf("sim: settling: %w", err)
+	}
+
+	selfish := make(map[chain.MinerID]bool, cfg.Population.Len())
+	for _, m := range cfg.Population.Miners() {
+		selfish[m.ID] = m.Selfish
+	}
+
+	result := Result{
+		Alpha:        cfg.Population.Alpha(),
+		Blocks:       cfg.Blocks,
+		PerMiner:     settlement.PerMiner,
+		RegularCount: settlement.RegularCount,
+		UncleCount:   settlement.UncleCount,
+		StaleCount:   settlement.StaleCount,
+		Occupancy:    s.occupancy,
+	}
+	for id, reward := range settlement.PerMiner {
+		if selfish[id] {
+			result.Pool = result.Pool.Add(reward)
+		} else {
+			result.Honest = result.Honest.Add(reward)
+		}
+	}
+	for _, ref := range settlement.Refs {
+		if !cfg.Schedule.Referenceable(ref.Distance) {
+			continue
+		}
+		uncleMiner := s.tree.Block(ref.Uncle).Miner
+		if selfish[uncleMiner] {
+			result.PoolUncleDistances.Observe(ref.Distance)
+		} else {
+			result.HonestUncleDistances.Observe(ref.Distance)
+		}
+	}
+	return result, s.tree, nil
+}
+
+// Series summarizes repeated runs of one configuration: per-metric
+// accumulators over independent seeds.
+type Series struct {
+	// Runs holds the individual results.
+	Runs []Result
+}
+
+// RunMany executes runs independent simulations with seeds derived from
+// cfg.Seed.
+func RunMany(cfg Config, runs int) (Series, error) {
+	if runs <= 0 {
+		return Series{}, fmt.Errorf("%w: runs %d must be positive", ErrBadConfig, runs)
+	}
+	var series Series
+	for i := 0; i < runs; i++ {
+		runCfg := cfg
+		// Derive well-separated seeds; adjacent integers would do, but
+		// mixing guards against accidental stream overlap.
+		runCfg.Seed = cfg.Seed*0x9E3779B97F4A7C15 + uint64(i)
+		result, err := Run(runCfg)
+		if err != nil {
+			return Series{}, err
+		}
+		series.Runs = append(series.Runs, result)
+	}
+	return series, nil
+}
+
+// Mean aggregates a metric over the runs and returns its accumulator.
+func (s Series) Mean(metric func(Result) float64) stats.Accumulator {
+	var acc stats.Accumulator
+	for _, r := range s.Runs {
+		acc.Add(metric(r))
+	}
+	return acc
+}
+
+// PoolAbsolute returns mean and std-error statistics of the pool's absolute
+// revenue across runs.
+func (s Series) PoolAbsolute(scenario core.Scenario) stats.Accumulator {
+	return s.Mean(func(r Result) float64 { return r.PoolAbsolute(scenario) })
+}
+
+// HonestAbsolute returns statistics of the honest absolute revenue.
+func (s Series) HonestAbsolute(scenario core.Scenario) stats.Accumulator {
+	return s.Mean(func(r Result) float64 { return r.HonestAbsolute(scenario) })
+}
+
+// TotalAbsolute returns statistics of the total absolute revenue.
+func (s Series) TotalAbsolute(scenario core.Scenario) stats.Accumulator {
+	return s.Mean(func(r Result) float64 { return r.TotalAbsolute(scenario) })
+}
+
+// HonestUncleDistribution merges the honest uncle-distance counters of all
+// runs and returns the distribution over distances 1..max.
+func (s Series) HonestUncleDistribution(max int) stats.Distribution {
+	var merged stats.Counter
+	for i := range s.Runs {
+		merged.Merge(&s.Runs[i].HonestUncleDistances)
+	}
+	return merged.Distribution(max)
+}

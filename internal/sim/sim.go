@@ -1,0 +1,364 @@
+// Package sim implements the paper's event-driven selfish-mining simulator
+// (Sec. V) on top of a real block tree.
+//
+// Block-creation events arrive one at a time; each event's producer is drawn
+// from the miner population by hash power. Selfish miners act as one pool
+// running Algorithm 1 (withhold, publish strategically, reference uncles);
+// honest miners follow the protocol: mine on the longest public branch,
+// break ties toward the pool's branch with probability gamma, and reference
+// every eligible uncle they can see. Rewards are settled over the final
+// tree, so the simulator validates the analytic model end to end: state
+// occupancy, uncle distances, and revenue all emerge from the tree rather
+// than from the model's formulas.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/ethselfish/ethselfish/internal/chain"
+	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/rewards"
+	"github.com/ethselfish/ethselfish/internal/rng"
+)
+
+// genesisMiner is the reserved miner ID for the genesis block.
+const genesisMiner chain.MinerID = 0
+
+// maxReferenceWindow caps how far back the simulator scans for uncle
+// candidates when the schedule has no depth limit. Races longer than this
+// occur with probability below (alpha/beta)^64 < 1e-5 at alpha <= 0.45, far
+// beneath simulation resolution.
+const maxReferenceWindow = 64
+
+// ErrBadConfig is returned for invalid simulation configurations.
+var ErrBadConfig = errors.New("sim: invalid configuration")
+
+// Config describes one simulation.
+type Config struct {
+	// Population supplies miners and hash powers. Required.
+	Population *mining.Population
+
+	// Gamma is the honest tie-breaking parameter (Sec. IV-A).
+	Gamma float64
+
+	// Schedule is the reward schedule (zero value: Ethereum).
+	Schedule rewards.Schedule
+
+	// Blocks is the number of block-creation events to simulate.
+	Blocks int
+
+	// Seed makes the run reproducible.
+	Seed uint64
+
+	// MaxUnclesPerBlock caps uncle references per block. Zero means
+	// unlimited (the paper's model); Ethereum uses 2.
+	MaxUnclesPerBlock int
+
+	// Strategy selects the pool's behavior. Nil means Algorithm1 (the
+	// paper's strategy).
+	Strategy Strategy
+
+	// PoolOmitsUncleRefs stops the pool from referencing uncles in its
+	// own blocks, isolating the nephew-income component of the attack.
+	PoolOmitsUncleRefs bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Schedule.MaxDepth() == 0 {
+		c.Schedule = rewards.Ethereum()
+	}
+	if c.Strategy == nil {
+		c.Strategy = Algorithm1{}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Population == nil {
+		return fmt.Errorf("%w: population is required", ErrBadConfig)
+	}
+	if math.IsNaN(c.Gamma) || c.Gamma < 0 || c.Gamma > 1 {
+		return fmt.Errorf("%w: gamma %v out of [0,1]", ErrBadConfig, c.Gamma)
+	}
+	if c.Blocks <= 0 {
+		return fmt.Errorf("%w: blocks %d must be positive", ErrBadConfig, c.Blocks)
+	}
+	if c.MaxUnclesPerBlock < 0 {
+		return fmt.Errorf("%w: negative uncle limit", ErrBadConfig)
+	}
+	return nil
+}
+
+// simulator holds the evolving race state. The race bookkeeping mirrors
+// Algorithm 1: base is the last consensus block; poolBlocks is the pool's
+// private branch above base (the first publishedCount of them announced);
+// honestBranch is the public branch honest miners are extending.
+type simulator struct {
+	cfg    Config
+	random *rng.Source
+	tree   *chain.Tree
+
+	// published[id] reports whether honest miners can see the block.
+	published []bool
+
+	// recent is a sliding window of block IDs used as uncle candidates.
+	recent []chain.BlockID
+
+	base           chain.BlockID
+	poolBlocks     []chain.BlockID
+	publishedCount int
+	honestBranch   []chain.BlockID
+
+	occupancy map[core.State]int64
+	window    int
+}
+
+func newSimulator(cfg Config) *simulator {
+	window := cfg.Schedule.MaxDepth()
+	if window > maxReferenceWindow {
+		window = maxReferenceWindow
+	}
+	tree := chain.NewTree(chain.Config{
+		// The tree enforces the protocol's reference-depth rule so a
+		// buggy strategy cannot slip an ineligible uncle through.
+		MaxUncleDepth:     window,
+		MaxUnclesPerBlock: cfg.MaxUnclesPerBlock,
+	}, genesisMiner)
+	return &simulator{
+		cfg:       cfg,
+		random:    rng.New(cfg.Seed),
+		tree:      tree,
+		published: []bool{true}, // genesis
+		base:      tree.Genesis(),
+		occupancy: make(map[core.State]int64),
+		window:    window,
+	}
+}
+
+// state returns the current (Ls, Lh) pair of Algorithm 1.
+func (s *simulator) state() core.State {
+	return core.State{S: len(s.poolBlocks), H: len(s.honestBranch)}
+}
+
+func (s *simulator) poolTip() chain.BlockID {
+	if len(s.poolBlocks) == 0 {
+		return s.base
+	}
+	return s.poolBlocks[len(s.poolBlocks)-1]
+}
+
+func (s *simulator) honestTip() chain.BlockID {
+	if len(s.honestBranch) == 0 {
+		return s.base
+	}
+	return s.honestBranch[len(s.honestBranch)-1]
+}
+
+func (s *simulator) publishedPoolTip() chain.BlockID {
+	if s.publishedCount == 0 {
+		return s.base
+	}
+	return s.poolBlocks[s.publishedCount-1]
+}
+
+// extend creates a block, records it in the candidate window, and returns
+// its ID.
+func (s *simulator) extend(parent chain.BlockID, miner chain.MinerID, uncles []chain.BlockID, visible bool) (chain.BlockID, error) {
+	id, err := s.tree.Extend(parent, miner, uncles)
+	if err != nil {
+		return chain.NoBlock, fmt.Errorf("sim: extending chain: %w", err)
+	}
+	s.published = append(s.published, visible)
+	s.recent = append(s.recent, id)
+	// Trim the candidate window: drop blocks too old to ever be
+	// referenced again.
+	minHeight := s.tree.Height(id) - s.window - 1
+	trim := 0
+	for trim < len(s.recent) && s.tree.Height(s.recent[trim]) < minHeight {
+		trim++
+	}
+	s.recent = s.recent[trim:]
+	return id, nil
+}
+
+// publish marks the first n pool blocks as visible to honest miners.
+func (s *simulator) publish(n int) {
+	for i := s.publishedCount; i < n && i < len(s.poolBlocks); i++ {
+		s.published[s.poolBlocks[i]] = true
+	}
+	if n > s.publishedCount {
+		s.publishedCount = n
+	}
+}
+
+// reset commits a finished race: winner becomes the new consensus base.
+func (s *simulator) reset(winner chain.BlockID) {
+	s.base = winner
+	s.poolBlocks = s.poolBlocks[:0]
+	s.publishedCount = 0
+	s.honestBranch = s.honestBranch[:0]
+}
+
+// eligibleUncles returns the uncle references a block mined on parent may
+// include: visible blocks within the reference window whose parent lies on
+// the new block's chain, that are not on that chain themselves, and that no
+// chain ancestor already references. poolView additionally lets the pool see
+// its own unpublished blocks (it never references them — they are on its
+// chain — but visibility is per-miner).
+func (s *simulator) eligibleUncles(parent chain.BlockID, poolView bool) []chain.BlockID {
+	newHeight := s.tree.Height(parent) + 1
+	lowest := newHeight - s.window
+	if lowest < 1 {
+		lowest = 1
+	}
+	if len(s.recent) == 0 {
+		return nil
+	}
+
+	// Map each window height to the new block's chain ancestor, and
+	// collect uncles already referenced by those ancestors.
+	chainAt := make(map[int]chain.BlockID, s.window+1)
+	referenced := make(map[chain.BlockID]bool)
+	cursor := parent
+	for {
+		h := s.tree.Height(cursor)
+		chainAt[h] = cursor
+		for _, u := range s.tree.Block(cursor).Uncles {
+			referenced[u] = true
+		}
+		if h <= lowest-1 || cursor == s.tree.Genesis() {
+			break
+		}
+		cursor = s.tree.Block(cursor).Parent
+	}
+
+	var out []chain.BlockID
+	for _, cand := range s.recent {
+		b := s.tree.Block(cand)
+		if b.Height < lowest || b.Height >= newHeight {
+			continue
+		}
+		if !s.published[cand] && !poolView {
+			continue // invisible to honest miners
+		}
+		if chainAt[b.Height] == cand {
+			continue // on the new block's own chain
+		}
+		if onChainParent, exists := chainAt[b.Height-1]; !exists || onChainParent != b.Parent {
+			continue // not attached to the new block's chain
+		}
+		if referenced[cand] {
+			continue
+		}
+		out = append(out, cand)
+	}
+	if limit := s.cfg.MaxUnclesPerBlock; limit > 0 && len(out) > limit {
+		// Keep the most recent (closest, highest-reward) candidates,
+		// as a profit-maximizing miner would.
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// poolEvent handles a block mined by the selfish pool (Algorithm 1,
+// lines 1-7, with the decision delegated to the configured strategy).
+func (s *simulator) poolEvent(miner chain.MinerID) error {
+	var uncles []chain.BlockID
+	if !s.cfg.PoolOmitsUncleRefs {
+		uncles = s.eligibleUncles(s.poolTip(), true)
+	}
+	id, err := s.extend(s.poolTip(), miner, uncles, false)
+	if err != nil {
+		return err
+	}
+	s.poolBlocks = append(s.poolBlocks, id)
+
+	ls, lh := len(s.poolBlocks), len(s.honestBranch)
+	return s.applyReaction(s.cfg.Strategy.ReactToPool(ls, lh, s.publishedCount))
+}
+
+// applyReaction executes a strategy decision.
+func (s *simulator) applyReaction(r Reaction) error {
+	ls, lh := len(s.poolBlocks), len(s.honestBranch)
+	if err := validateReaction(r, ls, lh, s.publishedCount); err != nil {
+		return fmt.Errorf("%s: at (%d,%d): %w", s.cfg.Strategy.Name(), ls, lh, err)
+	}
+	switch {
+	case r.Adopt:
+		s.reset(s.honestTip())
+	case r.Commit:
+		s.publish(ls)
+		s.reset(s.poolTip())
+	default:
+		s.publish(r.PublishTo)
+	}
+	return nil
+}
+
+// honestEvent handles a block mined by an honest miner (Algorithm 1,
+// lines 8-20, including the pool's reaction).
+func (s *simulator) honestEvent(miner chain.MinerID) error {
+	// Fork choice: longest public branch; gamma tie-break between the
+	// pool's published prefix and the honest branch. (A strategy that
+	// over-publishes makes the pool's public branch strictly longer, in
+	// which case every honest miner follows it.)
+	lh := len(s.honestBranch)
+	target := s.honestTip()
+	onPoolBranch := false
+	switch {
+	case s.publishedCount > lh:
+		target = s.publishedPoolTip()
+		onPoolBranch = true
+	case s.publishedCount >= 1 && s.publishedCount == lh:
+		if s.random.Bernoulli(s.cfg.Gamma) {
+			target = s.publishedPoolTip()
+			onPoolBranch = true
+		}
+	}
+
+	uncles := s.eligibleUncles(target, false)
+	id, err := s.extend(target, miner, uncles, true)
+	if err != nil {
+		return err
+	}
+
+	if onPoolBranch {
+		// The new block extends the pool's published prefix: that
+		// prefix becomes common history (a rebase). The pool keeps
+		// only its blocks above the old published tip.
+		s.base = s.publishedPoolTip()
+		remaining := len(s.poolBlocks) - s.publishedCount
+		copy(s.poolBlocks, s.poolBlocks[s.publishedCount:])
+		s.poolBlocks = s.poolBlocks[:remaining]
+		s.publishedCount = 0
+		s.honestBranch = s.honestBranch[:0]
+	}
+	s.honestBranch = append(s.honestBranch, id)
+
+	// The pool's reaction (Algorithm 1 lines 10-20, or a variant).
+	ls, lh := len(s.poolBlocks), len(s.honestBranch)
+	return s.applyReaction(s.cfg.Strategy.ReactToHonest(ls, lh, s.publishedCount))
+}
+
+// run executes the configured number of block events and returns the
+// resulting tree state. The unfinished final race is excluded from
+// settlement (the chain is settled at the last consensus base).
+func (s *simulator) run() error {
+	for i := 0; i < s.cfg.Blocks; i++ {
+		s.occupancy[s.state()]++
+		miner := s.cfg.Population.Sample(s.random)
+		var err error
+		if miner.Selfish {
+			err = s.poolEvent(miner.ID)
+		} else {
+			err = s.honestEvent(miner.ID)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The paper's conclusion leaves "the design of new mining strategies" as
+// future work and cites stubborn mining (Nayak et al.) as the natural
+// direction. This file generalizes the pool's behavior into a Strategy so
+// variants can be simulated on the same substrate: the default is exactly
+// Algorithm 1; the variants below explore the neighboring design space.
+
+// Reaction is the pool's decision at one of its two decision points. The
+// zero value means "keep mining" (no publication, no reset).
+type Reaction struct {
+	// PublishTo publishes the pool's private blocks up to this count
+	// (ignored when not above the already-published count).
+	PublishTo int
+
+	// Commit publishes the entire private branch and declares it the new
+	// consensus. Only legal when the private branch is strictly longer
+	// than the public one.
+	Commit bool
+
+	// Adopt abandons the private branch and accepts the public one.
+	Adopt bool
+}
+
+// Strategy decides the pool's reactions. Implementations must be
+// deterministic functions of the race state (ls, lh, published): the
+// simulator owns all randomness.
+type Strategy interface {
+	// Name identifies the strategy in results.
+	Name() string
+
+	// ReactToPool is consulted after the pool mines a block, with the
+	// updated private length ls.
+	ReactToPool(ls, lh, published int) Reaction
+
+	// ReactToHonest is consulted after an honest block, with the updated
+	// public length lh (and after any rebase onto the pool's published
+	// prefix).
+	ReactToHonest(ls, lh, published int) Reaction
+}
+
+// ErrBadReaction reports a strategy decision that violates the protocol
+// invariants (committing without a longer branch, publishing blocks that do
+// not exist).
+var ErrBadReaction = errors.New("sim: strategy returned an invalid reaction")
+
+// validateReaction checks a strategy's decision against the race state.
+func validateReaction(r Reaction, ls, lh, published int) error {
+	if r.Commit && r.Adopt {
+		return fmt.Errorf("%w: both commit and adopt", ErrBadReaction)
+	}
+	if r.Commit && ls <= lh {
+		return fmt.Errorf("%w: commit with ls=%d <= lh=%d", ErrBadReaction, ls, lh)
+	}
+	if r.PublishTo > ls {
+		return fmt.Errorf("%w: publish %d of %d blocks", ErrBadReaction, r.PublishTo, ls)
+	}
+	_ = published
+	return nil
+}
+
+// Algorithm1 is the paper's selfish-mining strategy (Sec. III-C).
+type Algorithm1 struct{}
+
+var _ Strategy = Algorithm1{}
+
+// Name implements Strategy.
+func (Algorithm1) Name() string { return "algorithm1" }
+
+// ReactToPool implements Strategy: commit when winning a tie race (the
+// (Ls, Lh) = (2, 1) rule of lines 3-5, generalized to any tie the pool
+// breaks with a fresh block).
+func (Algorithm1) ReactToPool(ls, lh, published int) Reaction {
+	if lh >= 1 && ls == lh+1 && published == lh {
+		return Reaction{Commit: true}
+	}
+	return Reaction{}
+}
+
+// ReactToHonest implements Strategy (lines 10-20).
+func (Algorithm1) ReactToHonest(ls, lh, published int) Reaction {
+	switch {
+	case ls < lh:
+		return Reaction{Adopt: true}
+	case ls == lh:
+		return Reaction{PublishTo: ls} // race the tie
+	case ls == lh+1:
+		return Reaction{Commit: true} // take the sure win
+	default:
+		return Reaction{PublishTo: published + 1}
+	}
+}
+
+// HonestStrategy makes the pool follow the protocol: every block is
+// published and committed immediately. It is the control arm — its revenue
+// must equal alpha.
+type HonestStrategy struct{}
+
+var _ Strategy = HonestStrategy{}
+
+// Name implements Strategy.
+func (HonestStrategy) Name() string { return "honest" }
+
+// ReactToPool implements Strategy.
+func (HonestStrategy) ReactToPool(ls, lh, published int) Reaction {
+	return Reaction{Commit: true}
+}
+
+// ReactToHonest implements Strategy: with no private branch the pool always
+// adopts.
+func (HonestStrategy) ReactToHonest(ls, lh, published int) Reaction {
+	return Reaction{Adopt: true}
+}
+
+// EagerPublish commits its branch as soon as its lead reaches Lead,
+// trading the long-race upside of Algorithm 1 for guaranteed wins. Lead
+// must be at least 2; Lead = 2 commits at the first safe opportunity.
+type EagerPublish struct {
+	// Lead is the commit trigger.
+	Lead int
+}
+
+var _ Strategy = EagerPublish{}
+
+// Name implements Strategy.
+func (s EagerPublish) Name() string { return fmt.Sprintf("eager-publish-%d", s.Lead) }
+
+// ReactToPool implements Strategy.
+func (s EagerPublish) ReactToPool(ls, lh, published int) Reaction {
+	if lh >= 1 && ls == lh+1 && published == lh {
+		return Reaction{Commit: true} // tie won
+	}
+	if ls-lh >= s.Lead {
+		return Reaction{Commit: true}
+	}
+	return Reaction{}
+}
+
+// ReactToHonest implements Strategy: identical to Algorithm 1 (the eager
+// commits happen on the pool's own blocks).
+func (s EagerPublish) ReactToHonest(ls, lh, published int) Reaction {
+	return Algorithm1{}.ReactToHonest(ls, lh, published)
+}
+
+// TrailStubborn keeps one block private where Algorithm 1 would take the
+// sure win (Ls = Lh + 1 after an honest block), racing on for a bigger
+// payoff — a trail-stubborn variant in the sense of Nayak et al.
+type TrailStubborn struct{}
+
+var _ Strategy = TrailStubborn{}
+
+// Name implements Strategy.
+func (TrailStubborn) Name() string { return "trail-stubborn" }
+
+// ReactToPool implements Strategy: same tie-winning rule as Algorithm 1.
+func (TrailStubborn) ReactToPool(ls, lh, published int) Reaction {
+	return Algorithm1{}.ReactToPool(ls, lh, published)
+}
+
+// ReactToHonest implements Strategy: at Ls = Lh + 1 publish only up to the
+// public length, keeping the last block private and the race alive.
+func (TrailStubborn) ReactToHonest(ls, lh, published int) Reaction {
+	if ls == lh+1 && lh >= 1 {
+		return Reaction{PublishTo: lh}
+	}
+	return Algorithm1{}.ReactToHonest(ls, lh, published)
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/core"
+)
+
+func TestAlgorithm1ReactionsMatchPaper(t *testing.T) {
+	var s Algorithm1
+	tests := []struct {
+		name              string
+		ls, lh, published int
+		honest            bool // consult ReactToHonest instead of ReactToPool
+		want              Reaction
+	}{
+		{"pool extends lead", 3, 0, 0, false, Reaction{}},
+		{"pool wins tie (2,1)", 2, 1, 1, false, Reaction{Commit: true}},
+		{"pool block mid-race", 5, 1, 1, false, Reaction{}},
+		{"honest at consensus", 0, 1, 0, true, Reaction{Adopt: true}},
+		{"honest levels race", 1, 1, 0, true, Reaction{PublishTo: 1}},
+		{"honest wins tie", 1, 2, 1, true, Reaction{Adopt: true}},
+		{"honest at lead 2", 2, 1, 0, true, Reaction{Commit: true}},
+		{"honest at big lead", 5, 1, 0, true, Reaction{PublishTo: 1}},
+		{"honest pushes deep race", 5, 2, 1, true, Reaction{PublishTo: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var got Reaction
+			if tt.honest {
+				got = s.ReactToHonest(tt.ls, tt.lh, tt.published)
+			} else {
+				got = s.ReactToPool(tt.ls, tt.lh, tt.published)
+			}
+			if got != tt.want {
+				t.Errorf("reaction = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateReaction(t *testing.T) {
+	tests := []struct {
+		name     string
+		reaction Reaction
+		ls, lh   int
+		wantErr  bool
+	}{
+		{"noop", Reaction{}, 3, 1, false},
+		{"publish in range", Reaction{PublishTo: 2}, 3, 1, false},
+		{"publish too many", Reaction{PublishTo: 4}, 3, 1, true},
+		{"commit ahead", Reaction{Commit: true}, 3, 1, false},
+		{"commit behind", Reaction{Commit: true}, 1, 1, true},
+		{"commit and adopt", Reaction{Commit: true, Adopt: true}, 3, 1, true},
+		{"adopt", Reaction{Adopt: true}, 1, 2, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := validateReaction(tt.reaction, tt.ls, tt.lh, 0)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBadReaction) {
+				t.Errorf("err = %v, want ErrBadReaction", err)
+			}
+		})
+	}
+}
+
+func TestHonestStrategyEarnsAlpha(t *testing.T) {
+	// The control arm: a pool that behaves honestly earns exactly its
+	// hash share and produces no forks at all.
+	r := run(t, Config{
+		Population: twoAgent(t, 0.3),
+		Gamma:      0.5,
+		Blocks:     50000,
+		Seed:       101,
+		Strategy:   HonestStrategy{},
+	})
+	if r.UncleCount != 0 || r.StaleCount != 0 {
+		t.Errorf("honest pool produced %d uncles, %d stale blocks", r.UncleCount, r.StaleCount)
+	}
+	got := r.PoolAbsolute(core.Scenario1)
+	// Exactly alpha in expectation; binomial noise over 50k blocks.
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("honest pool revenue %v, want ~0.3", got)
+	}
+}
+
+func TestEagerPublishNeverRacesDeep(t *testing.T) {
+	// EagerPublish(2) commits at lead 2, so states with lead > 2 never
+	// occur at event time.
+	r := run(t, Config{
+		Population: twoAgent(t, 0.4),
+		Gamma:      0.5,
+		Blocks:     50000,
+		Seed:       103,
+		Strategy:   EagerPublish{Lead: 2},
+	})
+	for state, count := range r.Occupancy {
+		if state.Lead() > 2 && count > 0 {
+			t.Errorf("state %v occurred %d times; eager publishing should prevent it", state, count)
+		}
+	}
+	if r.UncleCount == 0 {
+		t.Error("ties still produce uncles under eager publishing")
+	}
+}
+
+func TestEagerPublishBeatsHonestButTrailsAlgorithm1(t *testing.T) {
+	// At high alpha the deep races Algorithm 1 wins are where the profit
+	// is; committing early gives most of it up.
+	const alpha = 0.4
+	cfg := Config{Population: twoAgent(t, alpha), Gamma: 0.5, Blocks: 100000, Seed: 107}
+
+	algorithm1 := run(t, cfg)
+	eagerCfg := cfg
+	eagerCfg.Strategy = EagerPublish{Lead: 2}
+	eager := run(t, eagerCfg)
+
+	a1 := algorithm1.PoolAbsolute(core.Scenario1)
+	eg := eager.PoolAbsolute(core.Scenario1)
+	if eg >= a1 {
+		t.Errorf("eager publishing (%v) should trail Algorithm 1 (%v) at alpha=%v", eg, a1, alpha)
+	}
+	if eg <= alpha {
+		t.Errorf("eager publishing (%v) should still beat honest mining at alpha=%v", eg, alpha)
+	}
+}
+
+func TestTrailStubbornRuns(t *testing.T) {
+	// The trail-stubborn variant explores states outside the paper's
+	// space (it declines the sure win); the simulation must stay
+	// consistent: rewards conserved and blocks accounted for.
+	r := run(t, Config{
+		Population: twoAgent(t, 0.4),
+		Gamma:      0.5,
+		Blocks:     100000,
+		Seed:       109,
+		Strategy:   TrailStubborn{},
+	})
+	if got := r.Pool.Static + r.Honest.Static; math.Abs(got-float64(r.RegularCount)) > 1e-9 {
+		t.Errorf("static rewards %v != regular blocks %d", got, r.RegularCount)
+	}
+	gotNephew := r.Pool.Nephew + r.Honest.Nephew
+	if math.Abs(gotNephew-float64(r.UncleCount)/32) > 1e-9 {
+		t.Errorf("nephew rewards %v != UncleCount/32", gotNephew)
+	}
+	if r.RegularCount+r.UncleCount+r.StaleCount > r.Blocks {
+		t.Error("settled more blocks than events")
+	}
+}
+
+func TestTrailStubbornDiffersFromAlgorithm1(t *testing.T) {
+	cfg := Config{Population: twoAgent(t, 0.35), Gamma: 0.5, Blocks: 50000, Seed: 113}
+	a1 := run(t, cfg)
+	stubbornCfg := cfg
+	stubbornCfg.Strategy = TrailStubborn{}
+	stubborn := run(t, stubbornCfg)
+	if a1.Pool == stubborn.Pool {
+		t.Error("trail-stubborn produced identical rewards to Algorithm 1")
+	}
+}
+
+func TestPoolOmitsUncleRefsLosesNephewIncome(t *testing.T) {
+	cfg := Config{Population: twoAgent(t, 0.35), Gamma: 0.5, Blocks: 100000, Seed: 127}
+	full := run(t, cfg)
+	noRefsCfg := cfg
+	noRefsCfg.PoolOmitsUncleRefs = true
+	noRefs := run(t, noRefsCfg)
+
+	if noRefs.Pool.Nephew >= full.Pool.Nephew {
+		t.Errorf("pool nephew income without refs (%v) should drop (with: %v)",
+			noRefs.Pool.Nephew, full.Pool.Nephew)
+	}
+	// Honest miners pick up the unreferenced uncles instead.
+	if noRefs.Honest.Nephew <= full.Honest.Nephew {
+		t.Errorf("honest nephew income (%v) should rise when the pool abstains (with: %v)",
+			noRefs.Honest.Nephew, full.Honest.Nephew)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	tests := []struct {
+		strategy Strategy
+		want     string
+	}{
+		{Algorithm1{}, "algorithm1"},
+		{HonestStrategy{}, "honest"},
+		{EagerPublish{Lead: 3}, "eager-publish-3"},
+		{TrailStubborn{}, "trail-stubborn"},
+	}
+	for _, tt := range tests {
+		if got := tt.strategy.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}

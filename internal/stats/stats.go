@@ -1,0 +1,249 @@
+// Package stats provides the small statistical toolkit used by the
+// simulator and the experiment harness: streaming moment accumulators,
+// confidence intervals over repeated runs, and discrete distributions.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by reductions over empty samples.
+var ErrNoData = errors.New("stats: no data")
+
+// Accumulator computes running mean and variance using Welford's algorithm,
+// which is numerically stable for long streams. The zero value is ready to
+// use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddN incorporates the observation x with multiplicity n.
+func (a *Accumulator) AddN(x float64, n int) {
+	for i := 0; i < n; i++ {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (a Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or 0 with no data.
+func (a Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation, or 0 with no data.
+func (a Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 with no data.
+func (a Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance. It returns 0 for fewer than
+// two observations.
+func (a Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Merge combines another accumulator into a (parallel Welford merge).
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n, a.mean, a.m2 = n, mean, m2
+}
+
+// Interval is a symmetric confidence interval around a mean.
+type Interval struct {
+	Mean   float64
+	Radius float64 // half-width of the interval
+	Level  float64 // confidence level, e.g. 0.95
+}
+
+// Lo returns the lower bound of the interval.
+func (ci Interval) Lo() float64 { return ci.Mean - ci.Radius }
+
+// Hi returns the upper bound of the interval.
+func (ci Interval) Hi() float64 { return ci.Mean + ci.Radius }
+
+// Contains reports whether x lies within the interval.
+func (ci Interval) Contains(x float64) bool {
+	return x >= ci.Lo() && x <= ci.Hi()
+}
+
+// String renders the interval as "mean +/- radius".
+func (ci Interval) String() string {
+	return fmt.Sprintf("%.6g +/- %.3g", ci.Mean, ci.Radius)
+}
+
+// ConfidenceInterval returns a confidence interval for the mean at the given
+// level using a Student-t critical value. It returns ErrNoData with fewer
+// than two observations.
+func (a Accumulator) ConfidenceInterval(level float64) (Interval, error) {
+	if a.n < 2 {
+		return Interval{}, ErrNoData
+	}
+	tCrit := studentT(level, a.n-1)
+	return Interval{
+		Mean:   a.mean,
+		Radius: tCrit * a.StdErr(),
+		Level:  level,
+	}, nil
+}
+
+// studentT approximates the two-sided Student-t critical value for the given
+// confidence level and degrees of freedom, via the normal quantile plus the
+// Cornish–Fisher-style expansion (Peiser). Accuracy is better than 1% for
+// df >= 3, which is ample for reporting simulation error bars.
+func studentT(level float64, df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	z := normalQuantile(0.5 + level/2)
+	d := float64(df)
+	z3 := z * z * z
+	z5 := z3 * z * z
+	z7 := z5 * z * z
+	t := z +
+		(z3+z)/(4*d) +
+		(5*z5+16*z3+3*z)/(96*d*d) +
+		(3*z7+19*z5+17*z3-15*z)/(384*d*d*d)
+	return t
+}
+
+// normalQuantile returns the inverse standard normal CDF using the
+// Acklam/Wichura-style rational approximation (relative error < 1.2e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail rational approximations.
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// Mean returns the arithmetic mean of xs, or ErrNoData when empty.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. It does not modify xs.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}

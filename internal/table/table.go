@@ -1,0 +1,131 @@
+// Package table renders experiment results as aligned text tables and CSV,
+// the two formats the command-line harness emits.
+package table
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrShape is returned when a row's length does not match the header.
+var ErrShape = errors.New("table: row length does not match header")
+
+// Table is a simple rectangular table with a title and column headers.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: append([]string(nil), headers...)}
+}
+
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.headers) {
+		return fmt.Errorf("%w: got %d cells, want %d", ErrShape, len(cells), len(t.headers))
+	}
+	t.rows = append(t.rows, append([]string(nil), cells...))
+	return nil
+}
+
+// AddNumericRow appends a row whose first cell is a label and whose
+// remaining cells are numbers formatted with the given precision.
+func (t *Table) AddNumericRow(label string, precision int, values ...float64) error {
+	cells := make([]string, 0, len(values)+1)
+	cells = append(cells, label)
+	for _, v := range values {
+		cells = append(cells, strconv.FormatFloat(v, 'f', precision, 64))
+	}
+	return t.AddRow(cells...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(cell)
+			line.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	var rule []string
+	for i := range t.headers {
+		rule = append(rule, strings.Repeat("-", widths[i]))
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180-style CSV (quoting cells that
+// contain commas, quotes, or newlines).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string (text format).
+func (t *Table) String() string {
+	var b strings.Builder
+	// Render to a strings.Builder never fails.
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func csvEscape(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\n") {
+		return cell
+	}
+	return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+}

@@ -1,0 +1,90 @@
+package table
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tab := New("Demo", "alpha", "revenue")
+	if err := tab.AddRow("0.10", "0.0834"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("0.45", "0.7012"); err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "alpha") || !strings.Contains(lines[1], "revenue") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-----") {
+		t.Errorf("rule line = %q", lines[2])
+	}
+	// Columns align: "revenue" starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "revenue")
+	if got := strings.Index(lines[3], "0.0834"); got != idx {
+		t.Errorf("row value at offset %d, header at %d\n%s", got, idx, out)
+	}
+}
+
+func TestAddRowShapeError(t *testing.T) {
+	tab := New("", "a", "b")
+	if err := tab.AddRow("only one"); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestAddNumericRow(t *testing.T) {
+	tab := New("", "gamma", "threshold")
+	if err := tab.AddNumericRow("0.5", 3, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "0.250") {
+		t.Errorf("numeric row missing formatted value:\n%s", tab.String())
+	}
+	if err := tab.AddNumericRow("x", 2, 1.0, 2.0); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	if tab.NumRows() != 1 {
+		t.Errorf("NumRows = %d, want 1", tab.NumRows())
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := New("ignored in CSV", "name", "value")
+	if err := tab.AddRow("plain", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow(`with "quotes", and comma`, "2"); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nplain,1\n\"with \"\"quotes\"\", and comma\",2\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestEmptyTitleOmitted(t *testing.T) {
+	tab := New("", "x")
+	if err := tab.AddRow("1"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("empty title should not produce a leading blank line")
+	}
+	if tab.Title() != "" {
+		t.Error("Title should be empty")
+	}
+}

@@ -1,0 +1,28 @@
+# Development targets. `make check` is tier-1 plus the race suite in one
+# command.
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-json
+
+check: vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# The parallel engine's determinism tests double as its data-race check.
+race:
+	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Machine-readable benchmark results (the BENCH_*.json trajectory).
+bench-json:
+	$(GO) run ./cmd/ethbench

@@ -28,7 +28,7 @@ func BenchmarkFig8(b *testing.B) {
 
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		result, err := experiments.Fig9()
+		result, err := experiments.Fig9(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +40,7 @@ func BenchmarkFig9(b *testing.B) {
 
 func BenchmarkFig10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		result, err := experiments.Fig10()
+		result, err := experiments.Fig10(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func BenchmarkTable2(b *testing.B) {
 
 func BenchmarkSecVIThresholds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.SecVI(); err != nil {
+		if _, err := experiments.SecVI(experiments.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -72,7 +72,7 @@ func BenchmarkSecVIThresholds(b *testing.B) {
 
 func BenchmarkFig7ChainDump(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7(0.3, 0.5, 8); err != nil {
+		if _, err := experiments.Fig7(0.3, 0.5, 8, experiments.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,6 +101,7 @@ func BenchmarkStrategyComparison(b *testing.B) {
 // Micro-benchmarks for the building blocks.
 
 func BenchmarkClosedFormRevenue(b *testing.B) {
+	b.ReportAllocs()
 	m, err := core.New(core.Params{Alpha: 0.35, Gamma: 0.5})
 	if err != nil {
 		b.Fatal(err)
@@ -115,6 +116,7 @@ func BenchmarkClosedFormRevenue(b *testing.B) {
 }
 
 func BenchmarkStationaryDistributionNumeric(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.NewNumeric(core.Params{Alpha: 0.35, Gamma: 0.5, MaxLead: 80}); err != nil {
 			b.Fatal(err)
@@ -123,6 +125,7 @@ func BenchmarkStationaryDistributionNumeric(b *testing.B) {
 }
 
 func BenchmarkThresholdSearch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Threshold(core.ThresholdParams{Gamma: 0.5}); err != nil {
 			b.Fatal(err)
@@ -131,6 +134,7 @@ func BenchmarkThresholdSearch(b *testing.B) {
 }
 
 func BenchmarkSimulator100kBlocks(b *testing.B) {
+	b.ReportAllocs()
 	pop, err := mining.TwoAgent(0.35)
 	if err != nil {
 		b.Fatal(err)
@@ -154,6 +158,7 @@ func BenchmarkSimulator100kBlocks(b *testing.B) {
 }
 
 func BenchmarkSimulator1000Miners(b *testing.B) {
+	b.ReportAllocs()
 	pop, err := mining.Equal(1000, 350)
 	if err != nil {
 		b.Fatal(err)
@@ -172,6 +177,7 @@ func BenchmarkSimulator1000Miners(b *testing.B) {
 }
 
 func BenchmarkAnalyzeFacade(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a, err := Analyze(0.3, 0.5)
 		if err != nil {

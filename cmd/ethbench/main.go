@@ -1,0 +1,179 @@
+// Command ethbench runs the repository's performance-tracking workloads
+// and emits machine-readable results, one JSON object per benchmark, as a
+// single JSON array on stdout (the BENCH_*.json trajectory format).
+//
+// Usage:
+//
+//	ethbench [flags]
+//
+// Flags:
+//
+//	-filter S     run only benchmarks whose name contains S
+//	-parallel N   experiment engine workers (default 0: one per CPU)
+//	-list         print benchmark names and exit
+//
+// Each result records iterations, ns/op, bytes/op and allocs/op as measured
+// by testing.Benchmark, plus the parallelism and GOMAXPROCS in force, so
+// trajectories from different machines stay comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/experiments"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+// Result is one benchmark measurement in the emitted JSON array.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Parallelism int     `json:"parallelism"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+}
+
+// benchmark couples a name to a workload parameterized by the engine's
+// parallelism.
+type benchmark struct {
+	name string
+	run  func(b *testing.B, parallel int)
+}
+
+func benchmarks() []benchmark {
+	return []benchmark{
+		{name: "sim-100k-blocks", run: func(b *testing.B, parallel int) {
+			pop, err := mining.TwoAgent(0.35)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     100000,
+					Seed:       uint64(i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "runmany-10x20k", run: func(b *testing.B, parallel int) {
+			pop, err := mining.TwoAgent(0.35)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunMany(sim.Config{
+					Population:  pop,
+					Gamma:       0.5,
+					Blocks:      20000,
+					Seed:        uint64(i),
+					Parallelism: parallel,
+				}, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "fig8-quick", run: func(b *testing.B, parallel int) {
+			opts := experiments.Quick()
+			opts.Parallelism = parallel
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig8(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "table2-quick", run: func(b *testing.B, parallel int) {
+			opts := experiments.Quick()
+			opts.Parallelism = parallel
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table2(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "strategies-quick", run: func(b *testing.B, parallel int) {
+			opts := experiments.Quick()
+			opts.Parallelism = parallel
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Strategies(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ethbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ethbench", flag.ContinueOnError)
+	var (
+		filter   = fs.String("filter", "", "run only benchmarks whose name contains this substring")
+		parallel = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
+		list     = fs.Bool("list", false, "print benchmark names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	var results []Result
+	for _, bench := range benchmarks() {
+		if !strings.Contains(bench.name, *filter) {
+			continue
+		}
+		if *list {
+			if _, err := fmt.Fprintln(w, bench.name); err != nil {
+				return err
+			}
+			continue
+		}
+		bench := bench
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bench.run(b, *parallel)
+		})
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s failed", bench.name)
+		}
+		results = append(results, Result{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Parallelism: *parallel,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		})
+	}
+	if *list {
+		return nil
+	}
+	if results == nil {
+		return fmt.Errorf("no benchmark matches filter %q", *filter)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListBenchmarks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sim-100k-blocks", "fig8-quick", "runmany-10x20k"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestEmitsValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	var out bytes.Buffer
+	// table2-quick is the cheapest simulation-backed benchmark.
+	if err := run([]string{"-filter", "table2-quick", "-parallel", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Name != "table2-quick" || r.Iterations <= 0 || r.NsPerOp <= 0 {
+		t.Errorf("implausible result: %+v", r)
+	}
+	if r.Parallelism != 2 {
+		t.Errorf("parallelism = %d, want 2", r.Parallelism)
+	}
+}
+
+func TestUnknownFilterFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-filter", "no-such-bench"}, &out); err == nil {
+		t.Error("unknown filter should fail")
+	}
+}
+
+func TestRejectsPositionalArguments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"extra"}, &out); err == nil {
+		t.Error("positional arguments should fail")
+	}
+}

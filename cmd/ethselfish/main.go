@@ -14,6 +14,8 @@
 //	-runs N       simulation runs per data point (default 10, as the paper)
 //	-blocks N     block events per run (default 100000, as the paper)
 //	-seed N       base RNG seed (default 1)
+//	-parallel N   worker goroutines for the experiment engine (default 0:
+//	              one per CPU); results are identical at any setting
 //	-csv          emit CSV instead of aligned text
 package main
 
@@ -38,11 +40,12 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ethselfish", flag.ContinueOnError)
 	var (
-		quick  = fs.Bool("quick", false, "reduced simulation effort")
-		runs   = fs.Int("runs", experiments.DefaultRuns, "simulation runs per data point")
-		blocks = fs.Int("blocks", experiments.DefaultBlocks, "block events per run")
-		seed   = fs.Uint64("seed", 1, "base RNG seed")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		quick    = fs.Bool("quick", false, "reduced simulation effort")
+		runs     = fs.Int("runs", experiments.DefaultRuns, "simulation runs per data point")
+		blocks   = fs.Int("blocks", experiments.DefaultBlocks, "block events per run")
+		seed     = fs.Uint64("seed", 1, "base RNG seed")
+		parallel = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: ethselfish [flags] <experiment>\n")
@@ -62,6 +65,7 @@ func run(args []string, w io.Writer) error {
 		opts = experiments.Quick()
 		opts.Seed = *seed
 	}
+	opts.Parallelism = *parallel
 
 	name := fs.Arg(0)
 	if name == "all" {
@@ -103,7 +107,7 @@ func build(name string, opts experiments.Options) (*table.Table, error) {
 	case "fig6":
 		return experiments.Fig6(), nil
 	case "fig7":
-		return experiments.Fig7(0.3 /* alpha */, 0.5 /* gamma */, 8 /* maxLead */)
+		return experiments.Fig7(0.3 /* alpha */, 0.5 /* gamma */, 8 /* maxLead */, opts)
 	case "fig8":
 		result, err := experiments.Fig8(opts)
 		if err != nil {
@@ -111,13 +115,13 @@ func build(name string, opts experiments.Options) (*table.Table, error) {
 		}
 		return result.Table(), nil
 	case "fig9":
-		result, err := experiments.Fig9()
+		result, err := experiments.Fig9(opts)
 		if err != nil {
 			return nil, err
 		}
 		return result.Table(), nil
 	case "fig10":
-		result, err := experiments.Fig10()
+		result, err := experiments.Fig10(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +133,7 @@ func build(name string, opts experiments.Options) (*table.Table, error) {
 		}
 		return result.Table(), nil
 	case "secvi":
-		result, err := experiments.SecVI()
+		result, err := experiments.SecVI(opts)
 		if err != nil {
 			return nil, err
 		}

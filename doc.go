@@ -22,4 +22,19 @@
 // The experiment harness regenerating every table and figure of the paper
 // lives in cmd/ethselfish; see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Performance
+//
+// Paper-scale regeneration is embarrassingly parallel (10 independent runs
+// at every grid point), and the implementation exploits that: sim.RunMany
+// fans runs across a worker pool, and internal/experiments schedules every
+// driver's (grid-point × run) work items on a shared engine. Both expose a
+// Parallelism knob (default: one worker per CPU) that never changes
+// results — per-run seeds are derived from the base seed alone and results
+// are collected in run order, so parallel output is bit-identical to
+// sequential. The simulator's per-event hot path is allocation-free in
+// steady state: the block tree pre-allocates from the configured run
+// length and uncle-eligibility scanning reuses height-indexed scratch
+// buffers. cmd/ethbench emits machine-readable benchmark results for
+// tracking both properties.
 package ethselfish

@@ -1,0 +1,3 @@
+module github.com/ethselfish/ethselfish
+
+go 1.24

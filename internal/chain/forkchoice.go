@@ -7,7 +7,7 @@ func (t *Tree) LongestTips() []BlockID {
 	best := -1
 	var tips []BlockID
 	for id := range t.blocks {
-		if len(t.children[id]) > 0 {
+		if t.firstChild[id] != NoBlock {
 			continue
 		}
 		h := t.blocks[id].Height
@@ -33,14 +33,14 @@ func (t *Tree) HeaviestTip() BlockID {
 	weights := t.SubtreeWeights()
 	cursor := t.Genesis()
 	for {
-		kids := t.children[cursor]
-		if len(kids) == 0 {
+		first := t.firstChild[cursor]
+		if first == NoBlock {
 			return cursor
 		}
-		best := kids[0]
-		for _, k := range kids[1:] {
-			if weights[k] > weights[best] {
-				best = k
+		best := first
+		for kid := t.nextSibling[first]; kid != NoBlock; kid = t.nextSibling[kid] {
+			if weights[kid] > weights[best] {
+				best = kid
 			}
 		}
 		cursor = best

@@ -13,14 +13,38 @@ type Config struct {
 	// Ethereum uses 2. Zero or negative means unlimited (the paper's
 	// honest miners reference "as many as possible").
 	MaxUnclesPerBlock int
+
+	// BlocksHint pre-sizes the tree's internal storage for roughly this
+	// many blocks (genesis excluded), so long simulations never pay for
+	// incremental growth reallocations. Zero or negative means no
+	// pre-allocation. The hint is advisory: the tree grows past it
+	// normally.
+	BlocksHint int
 }
 
 // Tree is an append-only block tree rooted at a genesis block. It is not
 // safe for concurrent use.
 type Tree struct {
-	cfg      Config
-	blocks   []Block
-	children [][]BlockID
+	cfg    Config
+	blocks []Block
+
+	// Children are stored as intrusive sibling lists instead of one
+	// slice per block: firstChild/lastChild give each block's child list
+	// ends and nextSibling threads the list in creation order. This
+	// removes the per-block slice allocation a [][]BlockID layout pays
+	// the first time any block gains a child — the simulator's dominant
+	// steady-state allocation.
+	firstChild  []BlockID
+	lastChild   []BlockID
+	nextSibling []BlockID
+
+	// uncleArena backs every block's Uncles slice. Extend appends the
+	// validated references here and hands out a capacity-clamped
+	// subslice, so uncle storage amortizes to zero allocations instead
+	// of one copy per referencing block. Arena growth may relocate the
+	// backing array; previously handed-out slices keep pointing at the
+	// old one, which is safe because uncle lists are immutable.
+	uncleArena []BlockID
 
 	// referencedBy[b] is the block that references b as an uncle, or
 	// NoBlock. The protocol guarantees at most one referencing block per
@@ -36,6 +60,14 @@ type Tree struct {
 // attributed to the given miner (conventionally a neutral ID).
 func NewTree(cfg Config, genesisMiner MinerID) *Tree {
 	t := &Tree{cfg: cfg}
+	if hint := cfg.BlocksHint; hint > 0 {
+		n := hint + 1 // plus genesis
+		t.blocks = make([]Block, 0, n)
+		t.firstChild = make([]BlockID, 0, n)
+		t.lastChild = make([]BlockID, 0, n)
+		t.nextSibling = make([]BlockID, 0, n)
+		t.referencedBy = make([]BlockID, 0, n)
+	}
 	t.blocks = append(t.blocks, Block{
 		ID:     0,
 		Parent: NoBlock,
@@ -43,7 +75,9 @@ func NewTree(cfg Config, genesisMiner MinerID) *Tree {
 		Miner:  genesisMiner,
 		Seq:    0,
 	})
-	t.children = append(t.children, nil)
+	t.firstChild = append(t.firstChild, NoBlock)
+	t.lastChild = append(t.lastChild, NoBlock)
+	t.nextSibling = append(t.nextSibling, NoBlock)
 	t.referencedBy = append(t.referencedBy, NoBlock)
 	return t
 }
@@ -60,12 +94,31 @@ func (t *Tree) Block(id BlockID) Block {
 	return t.blocks[t.mustIndex(id)]
 }
 
-// Children returns the direct children of a block in creation order.
+// Children returns the direct children of a block in creation order. The
+// returned slice is freshly allocated; hot paths should use VisitChildren.
 func (t *Tree) Children(id BlockID) []BlockID {
-	kids := t.children[t.mustIndex(id)]
-	out := make([]BlockID, len(kids))
-	copy(out, kids)
+	var out []BlockID
+	t.VisitChildren(id, func(kid BlockID) bool {
+		out = append(out, kid)
+		return true
+	})
 	return out
+}
+
+// VisitChildren calls fn for each direct child of id in creation order,
+// stopping early if fn returns false. It is the no-copy counterpart of
+// Children for allocation-sensitive traversals.
+func (t *Tree) VisitChildren(id BlockID, fn func(BlockID) bool) {
+	for kid := t.firstChild[t.mustIndex(id)]; kid != NoBlock; kid = t.nextSibling[kid] {
+		if !fn(kid) {
+			return
+		}
+	}
+}
+
+// HasChildren reports whether the block has at least one child.
+func (t *Tree) HasChildren(id BlockID) bool {
+	return t.firstChild[t.mustIndex(id)] != NoBlock
 }
 
 // Height returns the block's height.
@@ -104,19 +157,31 @@ func (t *Tree) Extend(parent BlockID, miner MinerID, uncles []BlockID) (BlockID,
 		}
 	}
 
+	var uncleCopy []BlockID
+	if len(uncles) > 0 {
+		start := len(t.uncleArena)
+		t.uncleArena = append(t.uncleArena, uncles...)
+		uncleCopy = t.uncleArena[start:len(t.uncleArena):len(t.uncleArena)]
+	}
 	id := BlockID(len(t.blocks))
-	block := Block{
+	t.blocks = append(t.blocks, Block{
 		ID:     id,
 		Parent: parent,
 		Height: newHeight,
 		Miner:  miner,
-		Seq:    len(t.blocks),
-		Uncles: append([]BlockID(nil), uncles...),
-	}
-	t.blocks = append(t.blocks, block)
-	t.children = append(t.children, nil)
+		Seq:    int(id),
+		Uncles: uncleCopy,
+	})
+	t.firstChild = append(t.firstChild, NoBlock)
+	t.lastChild = append(t.lastChild, NoBlock)
+	t.nextSibling = append(t.nextSibling, NoBlock)
 	t.referencedBy = append(t.referencedBy, NoBlock)
-	t.children[parent] = append(t.children[parent], id)
+	if t.firstChild[parent] == NoBlock {
+		t.firstChild[parent] = id
+	} else {
+		t.nextSibling[t.lastChild[parent]] = id
+	}
+	t.lastChild[parent] = id
 	for _, u := range uncles {
 		t.referencedBy[u] = id
 	}
@@ -161,10 +226,11 @@ func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
 	if cursor == u {
 		return fmt.Errorf("uncle %d: %w", u, ErrUncleIsAncestor)
 	}
-	// cursor is the new block's ancestor at the uncle's height; the
-	// uncle's parent must equal cursor's parent... no: the uncle's parent
-	// must be an ancestor of the new block. Since uncle.Parent has height
-	// uncle.Height-1, it must equal cursor's parent.
+	// cursor is the new block's ancestor at the uncle's height. The uncle
+	// attaches iff its parent is an ancestor of the new block; since
+	// uncle.Parent sits one height below, the only ancestor it can equal
+	// is cursor's parent, so the attachment check is exactly that
+	// equality.
 	if uncle.Parent != t.blocks[cursor].Parent {
 		return fmt.Errorf("uncle %d: %w", u, ErrUncleNotAttached)
 	}
@@ -232,7 +298,7 @@ func (t *Tree) PathTo(tip BlockID) []BlockID {
 func (t *Tree) Tips() []BlockID {
 	var tips []BlockID
 	for id := range t.blocks {
-		if len(t.children[id]) == 0 {
+		if t.firstChild[id] == NoBlock {
 			tips = append(tips, BlockID(id))
 		}
 	}

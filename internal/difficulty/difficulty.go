@@ -98,8 +98,9 @@ func (c *Controller) Counted(regular, uncles int) int {
 }
 
 // Retarget updates the difficulty after observing counted blocks over the
-// given elapsed time. A zero observation halves... rather, the clamp bounds
-// every step to the maximum retarget factor in either direction.
+// given elapsed time. The clamp bounds every step to the maximum retarget
+// factor in either direction, so even a zero observation only divides the
+// difficulty by that factor.
 func (c *Controller) Retarget(counted int, elapsed float64) {
 	if elapsed <= 0 {
 		return

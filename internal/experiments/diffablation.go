@@ -21,14 +21,18 @@ type DiffAblationResult struct {
 }
 
 // DiffAblation runs the coupled difficulty/selfish-mining simulation under
-// both rules at alpha = 0.35, gamma = 0.5.
+// both rules at alpha = 0.35, gamma = 0.5. The two rules are independent
+// grid points on the experiment engine; epochs within a rule stay
+// sequential because each epoch's difficulty depends on the last.
 func DiffAblation(opts Options) (DiffAblationResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return DiffAblationResult{}, err
 	}
 	out := DiffAblationResult{Alpha: 0.35, Gamma: fig8Gamma}
-	for _, rule := range []difficulty.Rule{difficulty.BitcoinStyle, difficulty.EIP100} {
+	rules := []difficulty.Rule{difficulty.BitcoinStyle, difficulty.EIP100}
+	rows, err := grid(opts.Parallelism, len(rules), func(i int) (DiffAblationRow, error) {
+		rule := rules[i]
 		cfg := difficulty.SimConfig{
 			Alpha:          out.Alpha,
 			Gamma:          out.Gamma,
@@ -40,18 +44,22 @@ func DiffAblation(opts Options) (DiffAblationResult, error) {
 		}
 		epochs, err := difficulty.Simulate(cfg)
 		if err != nil {
-			return DiffAblationResult{}, err
+			return DiffAblationRow{}, err
 		}
 		predicted, err := difficulty.PredictedRewardRate(cfg)
 		if err != nil {
-			return DiffAblationResult{}, err
+			return DiffAblationRow{}, err
 		}
-		out.Rows = append(out.Rows, DiffAblationRow{
+		return DiffAblationRow{
 			Rule:      rule,
 			Steady:    difficulty.SteadyState(epochs),
 			Predicted: predicted,
-		})
+		}, nil
+	})
+	if err != nil {
+		return DiffAblationResult{}, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

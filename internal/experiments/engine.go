@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/parallel"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+// This file is the experiment engine shared by every driver. Drivers
+// describe their parameter grid; the engine schedules the work items across
+// a worker pool and reassembles results in grid order, so a driver never
+// hand-rolls a sweep loop. Two layers:
+//
+//   - grid evaluates an arbitrary function at every grid point (used
+//     directly by the analytic drivers, whose points are closed-form
+//     solves).
+//   - runSimGrid flattens (grid-point × run) into individual simulation
+//     work items so a sweep's total parallelism is points*runs rather than
+//     whichever axis happens to be longer. Per-run seeds are derived
+//     exactly as the sequential sim.RunMany would derive them, so the
+//     assembled Series are bit-identical to a sequential sweep.
+
+// grid evaluates fn at grid points 0..n-1 across at most workers
+// goroutines (zero or negative workers: GOMAXPROCS) and returns the results
+// in point order, reporting the lowest-index error. It is the experiment-
+// facing name for the shared deterministic pool in internal/parallel.
+func grid[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(workers, n, fn)
+}
+
+// simJob describes the simulation work at one grid point: the pool's hash
+// power and a builder for the rest of the configuration. The builder must
+// be safe to call concurrently with other builders (it normally just fills
+// in literals).
+type simJob struct {
+	alpha float64
+	build func(pop *mining.Population) sim.Config
+}
+
+// pointSeed derives the base seed of one grid point, keyed by alpha so
+// every point gets an independent stream family regardless of sweep order.
+func pointSeed(opts Options, alpha float64) uint64 {
+	return opts.Seed + uint64(alpha*1e6)
+}
+
+// runSimGrid executes every (grid-point × run) work item across the
+// engine's workers and returns one Series per job, in job order with runs
+// in run order — bit-identical to running sim.RunMany sequentially at each
+// point.
+func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
+	configs := make([]sim.Config, len(jobs))
+	for j, job := range jobs {
+		pop, err := mining.TwoAgent(job.alpha)
+		if err != nil {
+			return nil, err
+		}
+		cfg := job.build(pop)
+		cfg.Population = pop
+		cfg.Blocks = opts.Blocks
+		configs[j] = cfg
+	}
+
+	results, err := grid(opts.Parallelism, len(jobs)*opts.Runs, func(k int) (sim.Result, error) {
+		j, r := k/opts.Runs, k%opts.Runs
+		cfg := configs[j]
+		cfg.Seed = sim.DeriveSeed(pointSeed(opts, jobs[j].alpha), r)
+		return sim.Run(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	series := make([]sim.Series, len(jobs))
+	for j := range series {
+		// Clamp capacity so appending to one Series can never bleed
+		// into the next one's backing storage.
+		series[j] = sim.Series{Runs: results[j*opts.Runs : (j+1)*opts.Runs : (j+1)*opts.Runs]}
+	}
+	return series, nil
+}
+
+// sweep materializes an inclusive arithmetic parameter sweep as a grid.
+// The values accumulate float error exactly as a `for v := start; v <=
+// max+1e-9; v += step` loop would, so grid points (and the seeds derived
+// from them) are bit-for-bit what the sequential drivers produced.
+func sweep(start, max, step float64) []float64 {
+	var out []float64
+	for v := start; v <= max+1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+// Ordering, emptiness, and error-determinism of the underlying pool are
+// covered in internal/parallel; the tests here pin the engine's seed and
+// assembly contracts.
+
+// TestRunSimGridMatchesRunMany pins the engine's seed contract: scheduling
+// (grid-point × run) work items across workers must reproduce exactly what
+// sequential sim.RunMany produces at each point.
+func TestRunSimGridMatchesRunMany(t *testing.T) {
+	opts := Options{Runs: 3, Blocks: 2000, Seed: 11, Parallelism: 4}
+	alphas := []float64{0.2, 0.35}
+	jobs := make([]simJob, len(alphas))
+	for i, alpha := range alphas {
+		jobs[i] = simJob{alpha: alpha, build: func(*mining.Population) sim.Config {
+			return sim.Config{Gamma: fig8Gamma}
+		}}
+	}
+	gridSeries, err := runSimGrid(opts, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, alpha := range alphas {
+		pop, err := mining.TwoAgent(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Config{
+			Population:  pop,
+			Gamma:       fig8Gamma,
+			Blocks:      opts.Blocks,
+			Seed:        pointSeed(opts, alpha),
+			Parallelism: 1,
+		}
+		want, err := sim.RunMany(cfg, opts.Runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gridSeries[i].Runs, want.Runs) {
+			t.Errorf("alpha=%v: grid series differs from sequential RunMany", alpha)
+		}
+	}
+}
+
+// TestFig8ParallelMatchesSequential exercises a full driver through the
+// engine at both parallelism settings; run with -race this doubles as the
+// engine's data-race check.
+func TestFig8ParallelMatchesSequential(t *testing.T) {
+	base := Options{Runs: 2, Blocks: 2000, Seed: 5}
+
+	seq := base
+	seq.Parallelism = 1
+	sequential, err := Fig8(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Parallelism = 8
+	parallel, err := Fig8(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Error("Fig8 parallel result differs from sequential")
+	}
+}
+
+func TestOptionsRejectNegativeParallelism(t *testing.T) {
+	if _, err := Fig8(Options{Parallelism: -2}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("got %v, want ErrBadOptions", err)
+	}
+}

@@ -7,9 +7,6 @@ package experiments
 import (
 	"errors"
 	"fmt"
-
-	"github.com/ethselfish/ethselfish/internal/mining"
-	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
 // Paper-scale simulation defaults (Sec. V: averages of 10 runs, each
@@ -42,6 +39,12 @@ type Options struct {
 
 	// Seed derives per-run seeds (zero is a valid seed).
 	Seed uint64
+
+	// Parallelism bounds the worker goroutines the experiment engine
+	// uses to schedule (grid-point × run) work items. Zero means
+	// runtime.GOMAXPROCS(0); one forces sequential execution. Results
+	// are identical regardless of the setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +61,9 @@ func (o Options) validate() error {
 	if o.Runs < 0 || o.Blocks < 0 {
 		return fmt.Errorf("%w: negative runs or blocks", ErrBadOptions)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: negative parallelism", ErrBadOptions)
+	}
 	return nil
 }
 
@@ -65,17 +71,4 @@ func (o Options) validate() error {
 // tests); the shapes of all results survive the reduction.
 func Quick() Options {
 	return Options{Runs: QuickRuns, Blocks: QuickBlocks}
-}
-
-// simSeries runs the simulator at one (alpha, gamma) point.
-func simSeries(alpha float64, opts Options, build func(pop *mining.Population) sim.Config) (sim.Series, error) {
-	pop, err := mining.TwoAgent(alpha)
-	if err != nil {
-		return sim.Series{}, err
-	}
-	cfg := build(pop)
-	cfg.Population = pop
-	cfg.Blocks = opts.Blocks
-	cfg.Seed = opts.Seed + uint64(alpha*1e6)
-	return sim.RunMany(cfg, opts.Runs)
 }

@@ -46,7 +46,7 @@ func TestFig8ShapeAndAnchors(t *testing.T) {
 }
 
 func TestFig9ShapeAndAnchors(t *testing.T) {
-	result, err := Fig9()
+	result, err := Fig9(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestFig9ShapeAndAnchors(t *testing.T) {
 }
 
 func TestFig10ShapeAndAnchors(t *testing.T) {
-	result, err := Fig10()
+	result, err := Fig10(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestSecVIAnchors(t *testing.T) {
-	result, err := SecVI()
+	result, err := SecVI(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestStaticTables(t *testing.T) {
 }
 
 func TestFig7Dump(t *testing.T) {
-	tab, err := Fig7(0.3, 0.5, 6)
+	tab, err := Fig7(0.3, 0.5, 6, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,10 +191,10 @@ func TestFig7Dump(t *testing.T) {
 			t.Errorf("Fig. 7 dump missing state %s:\n%s", state, out)
 		}
 	}
-	if _, err := Fig7(0.3, 0.5, 2); err == nil {
+	if _, err := Fig7(0.3, 0.5, 2, Options{}); err == nil {
 		t.Error("maxLead=2 should fail")
 	}
-	if _, err := Fig7(0.9, 0.5, 6); err == nil {
+	if _, err := Fig7(0.9, 0.5, 6, Options{}); err == nil {
 		t.Error("alpha=0.9 should fail")
 	}
 }

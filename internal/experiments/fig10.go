@@ -28,16 +28,25 @@ type Fig10Result struct {
 }
 
 // Fig10 sweeps gamma and computes the three threshold curves of Fig. 10
-// with Ethereum's Ku function.
-func Fig10() (Fig10Result, error) {
-	var out Fig10Result
+// with Ethereum's Ku function, solving the gamma grid on the experiment
+// engine. The driver is analytic: only opts.Parallelism is used
+// (simulation effort does not apply).
+func Fig10(opts Options) (Fig10Result, error) {
+	if err := opts.validate(); err != nil {
+		return Fig10Result{}, err
+	}
+	var gammas []float64
 	for gamma := 0.0; gamma <= 1+1e-9; gamma += fig10GammaStep {
 		if gamma > 1 {
 			gamma = 1
 		}
+		gammas = append(gammas, gamma)
+	}
+	rows, err := grid(opts.Parallelism, len(gammas), func(i int) (Fig10Row, error) {
+		gamma := gammas[i]
 		bitcoin, err := eyalsirer.Threshold(gamma)
 		if err != nil {
-			return Fig10Result{}, err
+			return Fig10Row{}, err
 		}
 		row := Fig10Row{Gamma: gamma, Bitcoin: bitcoin}
 		for _, scenario := range []core.Scenario{core.Scenario1, core.Scenario2} {
@@ -49,7 +58,7 @@ func Fig10() (Fig10Result, error) {
 			case errors.Is(err, core.ErrNoThreshold):
 				threshold = math.NaN()
 			case err != nil:
-				return Fig10Result{}, err
+				return Fig10Row{}, err
 			}
 			if scenario == core.Scenario1 {
 				row.Scenario1 = threshold
@@ -57,9 +66,12 @@ func Fig10() (Fig10Result, error) {
 				row.Scenario2 = threshold
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return Fig10Result{}, err
 	}
-	return out, nil
+	return Fig10Result{Rows: rows}, nil
 }
 
 // Crossover returns the smallest swept gamma at which the scenario-2

@@ -38,7 +38,8 @@ type Fig8Result struct {
 
 // Fig8 sweeps alpha and computes the revenue-rate curves of Fig. 8 from
 // both the closed-form model and the simulator (scenario 1, gamma = 0.5,
-// Ku = 4/8 Ks).
+// Ku = 4/8 Ks). The alpha × run simulation grid and the analytic solves
+// are both scheduled on the experiment engine.
 func Fig8(opts Options) (Fig8Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -49,34 +50,42 @@ func Fig8(opts Options) (Fig8Result, error) {
 		return Fig8Result{}, err
 	}
 
-	var out Fig8Result
-	for alpha := fig8AlphaStart; alpha <= fig8AlphaMax+1e-9; alpha += fig8AlphaStep {
+	alphas := sweep(fig8AlphaStart, fig8AlphaMax, fig8AlphaStep)
+	jobs := make([]simJob, len(alphas))
+	for i, alpha := range alphas {
+		jobs[i] = simJob{alpha: alpha, build: func(*mining.Population) sim.Config {
+			return sim.Config{Gamma: fig8Gamma, Schedule: schedule}
+		}}
+	}
+	series, err := runSimGrid(opts, jobs)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+
+	rows, err := grid(opts.Parallelism, len(alphas), func(i int) (Fig8Row, error) {
+		alpha := alphas[i]
 		m, err := core.New(core.Params{Alpha: alpha, Gamma: fig8Gamma, Schedule: schedule})
 		if err != nil {
-			return Fig8Result{}, err
+			return Fig8Row{}, err
 		}
 		rev := m.Revenue()
-		row := Fig8Row{
+		pool := series[i].PoolAbsolute(core.Scenario1)
+		honest := series[i].HonestAbsolute(core.Scenario1)
+		return Fig8Row{
 			Alpha:          alpha,
 			HonestMining:   alpha,
 			PoolAnalytic:   rev.PoolAbsolute(core.Scenario1),
 			HonestAnalytic: rev.HonestAbsolute(core.Scenario1),
-		}
-		series, err := simSeries(alpha, opts, func(*mining.Population) sim.Config {
-			return sim.Config{Gamma: fig8Gamma, Schedule: schedule}
-		})
-		if err != nil {
-			return Fig8Result{}, err
-		}
-		pool := series.PoolAbsolute(core.Scenario1)
-		honest := series.HonestAbsolute(core.Scenario1)
-		row.PoolSim = pool.Mean()
-		row.PoolSimErr = pool.StdErr()
-		row.HonestSim = honest.Mean()
-		row.HonestSimErr = honest.StdErr()
-		out.Rows = append(out.Rows, row)
+			PoolSim:        pool.Mean(),
+			PoolSimErr:     pool.StdErr(),
+			HonestSim:      honest.Mean(),
+			HonestSimErr:   honest.StdErr(),
+		}, nil
+	})
+	if err != nil {
+		return Fig8Result{}, err
 	}
-	return out, nil
+	return Fig8Result{Rows: rows}, nil
 }
 
 // Threshold returns the smallest swept alpha whose pool revenue meets or

@@ -49,28 +49,37 @@ type Fig9Result struct {
 }
 
 // Fig9 computes the revenue curves of Fig. 9 for all four uncle-reward
-// variants from the closed-form model.
-func Fig9() (Fig9Result, error) {
+// variants from the closed-form model, solving the alpha × schedule grid on
+// the experiment engine. The driver is analytic: only opts.Parallelism is
+// used (simulation effort does not apply).
+func Fig9(opts Options) (Fig9Result, error) {
+	if err := opts.validate(); err != nil {
+		return Fig9Result{}, err
+	}
 	schedules, names, err := fig9Schedules()
 	if err != nil {
 		return Fig9Result{}, err
 	}
-	out := Fig9Result{Schedules: names}
-	for alpha := fig8AlphaStart; alpha <= fig8AlphaMax+1e-9; alpha += fig8AlphaStep {
+	alphas := sweep(fig8AlphaStart, fig8AlphaMax, fig8AlphaStep)
+	rows, err := grid(opts.Parallelism, len(alphas), func(i int) (Fig9Row, error) {
+		alpha := alphas[i]
 		row := Fig9Row{Alpha: alpha}
 		for _, schedule := range schedules {
 			m, err := core.New(core.Params{Alpha: alpha, Gamma: fig8Gamma, Schedule: schedule})
 			if err != nil {
-				return Fig9Result{}, err
+				return Fig9Row{}, err
 			}
 			rev := m.Revenue()
 			row.Pool = append(row.Pool, rev.PoolAbsolute(core.Scenario1))
 			row.Honest = append(row.Honest, rev.HonestAbsolute(core.Scenario1))
 			row.Total = append(row.Total, rev.TotalAbsolute(core.Scenario1))
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return Fig9Result{}, err
 	}
-	return out, nil
+	return Fig9Result{Schedules: names, Rows: rows}, nil
 }
 
 // MaxTotal returns the largest total revenue across the sweep — the "soars

@@ -20,20 +20,26 @@ type SecVIResult struct {
 	Rows []SecVIRow
 }
 
-// SecVI computes the redesign comparison.
-func SecVI() (SecVIResult, error) {
+// SecVI computes the redesign comparison, solving the two scenarios'
+// threshold searches on the experiment engine. The driver is analytic:
+// only opts.Parallelism is used (simulation effort does not apply).
+func SecVI(opts Options) (SecVIResult, error) {
+	if err := opts.validate(); err != nil {
+		return SecVIResult{}, err
+	}
 	flat, err := rewards.Constant(0.5, rewards.EthereumMaxUncleDepth)
 	if err != nil {
 		return SecVIResult{}, err
 	}
-	var out SecVIResult
-	for _, scenario := range []core.Scenario{core.Scenario1, core.Scenario2} {
+	scenarios := []core.Scenario{core.Scenario1, core.Scenario2}
+	rows, err := grid(opts.Parallelism, len(scenarios), func(i int) (SecVIRow, error) {
+		scenario := scenarios[i]
 		eth, err := core.Threshold(core.ThresholdParams{
 			Gamma:    fig8Gamma,
 			Scenario: scenario,
 		})
 		if err != nil {
-			return SecVIResult{}, err
+			return SecVIRow{}, err
 		}
 		redesigned, err := core.Threshold(core.ThresholdParams{
 			Gamma:    fig8Gamma,
@@ -41,15 +47,18 @@ func SecVI() (SecVIResult, error) {
 			Scenario: scenario,
 		})
 		if err != nil {
-			return SecVIResult{}, err
+			return SecVIRow{}, err
 		}
-		out.Rows = append(out.Rows, SecVIRow{
+		return SecVIRow{
 			Scenario:   scenario,
 			Ethereum:   eth,
 			Redesigned: redesigned,
-		})
+		}, nil
+	})
+	if err != nil {
+		return SecVIResult{}, err
 	}
-	return out, nil
+	return SecVIResult{Rows: rows}, nil
 }
 
 // Table renders the comparison.

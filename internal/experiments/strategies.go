@@ -28,7 +28,8 @@ type StrategiesResult struct {
 	Rows  []StrategiesRow
 }
 
-// Strategies runs the comparison at gamma = 0.5.
+// Strategies runs the comparison at gamma = 0.5, scheduling the full
+// alpha × strategy × run grid on the experiment engine.
 func Strategies(opts Options) (StrategiesResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -45,17 +46,25 @@ func Strategies(opts Options) (StrategiesResult, error) {
 	for _, v := range variants {
 		out.Names = append(out.Names, v.Name())
 	}
+
+	// One grid point per (alpha, variant) pair, in row-major order.
+	jobs := make([]simJob, 0, len(strategyAlphas)*len(variants))
 	for _, alpha := range strategyAlphas {
-		row := StrategiesRow{Alpha: alpha}
 		for _, variant := range variants {
 			variant := variant
-			series, err := simSeries(alpha, opts, func(*mining.Population) sim.Config {
+			jobs = append(jobs, simJob{alpha: alpha, build: func(*mining.Population) sim.Config {
 				return sim.Config{Gamma: fig8Gamma, Strategy: variant}
-			})
-			if err != nil {
-				return StrategiesResult{}, err
-			}
-			acc := series.PoolAbsolute(core.Scenario1)
+			}})
+		}
+	}
+	series, err := runSimGrid(opts, jobs)
+	if err != nil {
+		return StrategiesResult{}, err
+	}
+	for i, alpha := range strategyAlphas {
+		row := StrategiesRow{Alpha: alpha}
+		for j := range variants {
+			acc := series[i*len(variants)+j].PoolAbsolute(core.Scenario1)
 			row.Revenue = append(row.Revenue, acc.Mean())
 		}
 		out.Rows = append(out.Rows, row)

@@ -26,32 +26,40 @@ type Table2Result struct {
 	Columns []Table2Column
 }
 
-// Table2 computes the honest uncle distance distributions.
+// Table2 computes the honest uncle distance distributions, scheduling the
+// alpha × run simulation grid on the experiment engine.
 func Table2(opts Options) (Table2Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return Table2Result{}, err
 	}
-	var out Table2Result
-	for _, alpha := range []float64{0.3, 0.45} {
+	alphas := []float64{0.3, 0.45}
+	jobs := make([]simJob, len(alphas))
+	for i, alpha := range alphas {
+		jobs[i] = simJob{alpha: alpha, build: func(*mining.Population) sim.Config {
+			return sim.Config{Gamma: fig8Gamma, Schedule: rewards.Ethereum()}
+		}}
+	}
+	series, err := runSimGrid(opts, jobs)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	columns, err := grid(opts.Parallelism, len(alphas), func(i int) (Table2Column, error) {
+		alpha := alphas[i]
 		m, err := core.New(core.Params{Alpha: alpha, Gamma: fig8Gamma})
 		if err != nil {
-			return Table2Result{}, err
+			return Table2Column{}, err
 		}
-		col := Table2Column{
+		return Table2Column{
 			Alpha:    alpha,
 			Analytic: m.Revenue().HonestUncleDistribution(table2Distances),
-		}
-		series, err := simSeries(alpha, opts, func(*mining.Population) sim.Config {
-			return sim.Config{Gamma: fig8Gamma, Schedule: rewards.Ethereum()}
-		})
-		if err != nil {
-			return Table2Result{}, err
-		}
-		col.Sim = series.HonestUncleDistribution(table2Distances)
-		out.Columns = append(out.Columns, col)
+			Sim:      series[i].HonestUncleDistribution(table2Distances),
+		}, nil
+	})
+	if err != nil {
+		return Table2Result{}, err
 	}
-	return out, nil
+	return Table2Result{Columns: columns}, nil
 }
 
 // Table renders Table II with analytic and simulated columns side by side.

@@ -1,0 +1,57 @@
+// Package parallel provides the deterministic worker pool shared by the
+// simulation batch runner (sim.RunMany) and the experiment grid engine.
+// Work items are independent and indexed; results come back in index order
+// and the lowest-index error wins, so output never depends on goroutine
+// scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn at indices 0..n-1 across at most workers goroutines
+// (zero or negative workers: GOMAXPROCS) and returns the results in index
+// order. All indices are evaluated even when one fails; the lowest-index
+// error is returned, so failures are deterministic under parallelism too.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

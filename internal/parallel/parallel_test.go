@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: got (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+// TestMapErrorDeterminism: whichever worker fails first in wall-clock time,
+// the reported error must be the lowest-index one.
+func TestMapErrorDeterminism(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := Map(8, 20, func(i int) (int, error) {
+		if i == 3 || i == 17 {
+			return 0, fmt.Errorf("index %d: %w", i, wantErr)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+	if got := err.Error(); got != "index 3: boom" {
+		t.Errorf("got error %q, want the lowest-index one", got)
+	}
+}

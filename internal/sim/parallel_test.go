@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/mining"
+)
+
+// TestRunManyParallelDeterminism is the engine's core contract: fanning
+// runs across workers must produce run-for-run identical Results to the
+// sequential execution, in the same order.
+func TestRunManyParallelDeterminism(t *testing.T) {
+	pop, err := mining.TwoAgent(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Population: pop,
+		Gamma:      0.5,
+		Blocks:     5000,
+		Seed:       42,
+	}
+
+	cfg.Parallelism = 1
+	sequential, err := RunMany(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	parallel, err := RunMany(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sequential.Runs) != len(parallel.Runs) {
+		t.Fatalf("run counts differ: %d sequential vs %d parallel",
+			len(sequential.Runs), len(parallel.Runs))
+	}
+	for i := range sequential.Runs {
+		if !reflect.DeepEqual(sequential.Runs[i], parallel.Runs[i]) {
+			t.Errorf("run %d: parallel result differs from sequential", i)
+		}
+	}
+}
+
+// TestRunManyDefaultParallelism checks the GOMAXPROCS default also matches
+// the sequential stream (it exercises the workers>1 path on multi-core
+// machines and the workers==1 shortcut on single-core ones).
+func TestRunManyDefaultParallelism(t *testing.T) {
+	pop, err := mining.TwoAgent(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Population: pop, Gamma: 0.5, Blocks: 2000, Seed: 7}
+
+	cfg.Parallelism = 1
+	sequential, err := RunMany(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 0
+	defaulted, err := RunMany(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sequential.Runs, defaulted.Runs) {
+		t.Error("default parallelism produced different results than sequential")
+	}
+}
+
+func TestRunManyRejectsNegativeParallelism(t *testing.T) {
+	pop, err := mining.TwoAgent(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Population: pop, Gamma: 0.5, Blocks: 100, Parallelism: -1}
+	if _, err := RunMany(cfg, 2); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative parallelism: got %v, want ErrBadConfig", err)
+	}
+}
+
+// TestRunManyParallelError verifies an invalid configuration fails the
+// whole batch even when runs execute concurrently.
+func TestRunManyParallelError(t *testing.T) {
+	pop, err := mining.TwoAgent(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Population:        pop,
+		Gamma:             0.5,
+		Blocks:            100,
+		MaxUnclesPerBlock: -1, // rejected by validate inside each run
+		Parallelism:       4,
+	}
+	if _, err := RunMany(cfg, 8); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("got %v, want ErrBadConfig", err)
+	}
+}
+
+func TestDeriveSeedSpreadsRuns(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		s := DeriveSeed(1, i)
+		if seen[s] {
+			t.Fatalf("duplicate derived seed at run %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("distinct bases should derive distinct seeds")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/ethselfish/ethselfish/internal/chain"
 	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/parallel"
 	"github.com/ethselfish/ethselfish/internal/stats"
 )
 
@@ -162,25 +163,34 @@ type Series struct {
 	Runs []Result
 }
 
+// DeriveSeed returns the seed of run i in a batch rooted at base. Runs
+// within a batch get consecutive seeds — independent streams, because
+// rng.New expands every seed through splitmix64 — while the golden-ratio
+// multiplier spreads different bases apart so nearby base seeds cannot
+// produce overlapping batches. It is exported so external schedulers (the
+// experiments grid runner) can reproduce RunMany's per-run streams exactly.
+func DeriveSeed(base uint64, i int) uint64 {
+	return base*0x9E3779B97F4A7C15 + uint64(i)
+}
+
 // RunMany executes runs independent simulations with seeds derived from
-// cfg.Seed.
+// cfg.Seed. Runs are fanned out across cfg.Parallelism worker goroutines
+// (default GOMAXPROCS); because every run is seeded independently via
+// DeriveSeed and results are collected by run index, the returned Series is
+// bit-identical to a sequential execution.
 func RunMany(cfg Config, runs int) (Series, error) {
 	if runs <= 0 {
 		return Series{}, fmt.Errorf("%w: runs %d must be positive", ErrBadConfig, runs)
 	}
-	var series Series
-	for i := 0; i < runs; i++ {
+	results, err := parallel.Map(cfg.Parallelism, runs, func(i int) (Result, error) {
 		runCfg := cfg
-		// Derive well-separated seeds; adjacent integers would do, but
-		// mixing guards against accidental stream overlap.
-		runCfg.Seed = cfg.Seed*0x9E3779B97F4A7C15 + uint64(i)
-		result, err := Run(runCfg)
-		if err != nil {
-			return Series{}, err
-		}
-		series.Runs = append(series.Runs, result)
+		runCfg.Seed = DeriveSeed(cfg.Seed, i)
+		return Run(runCfg)
+	})
+	if err != nil {
+		return Series{}, err
 	}
-	return series, nil
+	return Series{Runs: results}, nil
 }
 
 // Mean aggregates a metric over the runs and returns its accumulator.

@@ -64,6 +64,13 @@ type Config struct {
 	// PoolOmitsUncleRefs stops the pool from referencing uncles in its
 	// own blocks, isolating the nephew-income component of the attack.
 	PoolOmitsUncleRefs bool
+
+	// Parallelism bounds the worker goroutines RunMany fans independent
+	// runs across. Zero means runtime.GOMAXPROCS(0); one forces
+	// sequential execution. The setting never changes results: per-run
+	// seeds are derived from Seed alone (see DeriveSeed) and the run
+	// order of the returned Series is preserved.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +95,9 @@ func (c Config) validate() error {
 	}
 	if c.MaxUnclesPerBlock < 0 {
 		return fmt.Errorf("%w: negative uncle limit", ErrBadConfig)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("%w: negative parallelism", ErrBadConfig)
 	}
 	return nil
 }
@@ -114,6 +124,16 @@ type simulator struct {
 
 	occupancy map[core.State]int64
 	window    int
+
+	// Scratch buffers reused by eligibleUncles so the per-event hot path
+	// stays allocation-free after warm-up. chainScratch maps window
+	// heights to chain ancestors (indexed by height offset), refScratch
+	// collects uncles those ancestors already reference, and
+	// uncleScratch backs the returned candidate list (safe to reuse:
+	// chain.Tree.Extend copies the uncle list it is given).
+	chainScratch []chain.BlockID
+	refScratch   []chain.BlockID
+	uncleScratch []chain.BlockID
 }
 
 func newSimulator(cfg Config) *simulator {
@@ -126,15 +146,21 @@ func newSimulator(cfg Config) *simulator {
 		// buggy strategy cannot slip an ineligible uncle through.
 		MaxUncleDepth:     window,
 		MaxUnclesPerBlock: cfg.MaxUnclesPerBlock,
+		// One block per event: size the tree up front so it never
+		// reallocates mid-run.
+		BlocksHint: cfg.Blocks,
 	}, genesisMiner)
+	published := make([]bool, 1, cfg.Blocks+1)
+	published[0] = true // genesis
 	return &simulator{
-		cfg:       cfg,
-		random:    rng.New(cfg.Seed),
-		tree:      tree,
-		published: []bool{true}, // genesis
-		base:      tree.Genesis(),
-		occupancy: make(map[core.State]int64),
-		window:    window,
+		cfg:          cfg,
+		random:       rng.New(cfg.Seed),
+		tree:         tree,
+		published:    published,
+		base:         tree.Genesis(),
+		occupancy:    make(map[core.State]int64),
+		window:       window,
+		chainScratch: make([]chain.BlockID, 0, window+2),
 	}
 }
 
@@ -174,13 +200,18 @@ func (s *simulator) extend(parent chain.BlockID, miner chain.MinerID, uncles []c
 	s.published = append(s.published, visible)
 	s.recent = append(s.recent, id)
 	// Trim the candidate window: drop blocks too old to ever be
-	// referenced again.
+	// referenced again. Compacting in place (rather than reslicing the
+	// tail) keeps the backing array stable, so the window never forces a
+	// reallocation once it has reached steady-state size.
 	minHeight := s.tree.Height(id) - s.window - 1
 	trim := 0
 	for trim < len(s.recent) && s.tree.Height(s.recent[trim]) < minHeight {
 		trim++
 	}
-	s.recent = s.recent[trim:]
+	if trim > 0 {
+		n := copy(s.recent, s.recent[trim:])
+		s.recent = s.recent[:n]
+	}
 	return id, nil
 }
 
@@ -208,6 +239,10 @@ func (s *simulator) reset(winner chain.BlockID) {
 // chain ancestor already references. poolView additionally lets the pool see
 // its own unpublished blocks (it never references them — they are on its
 // chain — but visibility is per-miner).
+//
+// The returned slice aliases a scratch buffer owned by the simulator; it is
+// only valid until the next eligibleUncles call. Callers hand it straight to
+// the tree, which copies it.
 func (s *simulator) eligibleUncles(parent chain.BlockID, poolView bool) []chain.BlockID {
 	newHeight := s.tree.Height(parent) + 1
 	lowest := newHeight - s.window
@@ -219,23 +254,32 @@ func (s *simulator) eligibleUncles(parent chain.BlockID, poolView bool) []chain.
 	}
 
 	// Map each window height to the new block's chain ancestor, and
-	// collect uncles already referenced by those ancestors.
-	chainAt := make(map[int]chain.BlockID, s.window+1)
-	referenced := make(map[chain.BlockID]bool)
+	// collect uncles already referenced by those ancestors. base is the
+	// deepest height mapped (the parent of the lowest referenceable
+	// uncle); chainScratch[h-base] holds the ancestor at height h.
+	base := lowest - 1
+	span := newHeight - base
+	if cap(s.chainScratch) < span {
+		s.chainScratch = make([]chain.BlockID, span)
+	}
+	chainAt := s.chainScratch[:span]
+	for i := range chainAt {
+		chainAt[i] = chain.NoBlock
+	}
+	referenced := s.refScratch[:0]
 	cursor := parent
 	for {
-		h := s.tree.Height(cursor)
-		chainAt[h] = cursor
-		for _, u := range s.tree.Block(cursor).Uncles {
-			referenced[u] = true
-		}
-		if h <= lowest-1 || cursor == s.tree.Genesis() {
+		b := s.tree.Block(cursor)
+		chainAt[b.Height-base] = cursor
+		referenced = append(referenced, b.Uncles...)
+		if b.Height <= base || cursor == s.tree.Genesis() {
 			break
 		}
-		cursor = s.tree.Block(cursor).Parent
+		cursor = b.Parent
 	}
+	s.refScratch = referenced
 
-	var out []chain.BlockID
+	out := s.uncleScratch[:0]
 	for _, cand := range s.recent {
 		b := s.tree.Block(cand)
 		if b.Height < lowest || b.Height >= newHeight {
@@ -244,23 +288,36 @@ func (s *simulator) eligibleUncles(parent chain.BlockID, poolView bool) []chain.
 		if !s.published[cand] && !poolView {
 			continue // invisible to honest miners
 		}
-		if chainAt[b.Height] == cand {
+		if chainAt[b.Height-base] == cand {
 			continue // on the new block's own chain
 		}
-		if onChainParent, exists := chainAt[b.Height-1]; !exists || onChainParent != b.Parent {
+		if chainAt[b.Height-1-base] != b.Parent {
 			continue // not attached to the new block's chain
 		}
-		if referenced[cand] {
+		if containsBlock(referenced, cand) {
 			continue
 		}
 		out = append(out, cand)
 	}
+	s.uncleScratch = out
 	if limit := s.cfg.MaxUnclesPerBlock; limit > 0 && len(out) > limit {
 		// Keep the most recent (closest, highest-reward) candidates,
 		// as a profit-maximizing miner would.
 		out = out[len(out)-limit:]
 	}
 	return out
+}
+
+// containsBlock reports whether id occurs in ids. The lists scanned here
+// hold at most two uncles per window height, so a linear scan beats a map
+// both in time and in allocations.
+func containsBlock(ids []chain.BlockID, id chain.BlockID) bool {
+	for _, other := range ids {
+		if other == id {
+			return true
+		}
+	}
+	return false
 }
 
 // poolEvent handles a block mined by the selfish pool (Algorithm 1,

@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json
+# Baseline file consumed by bench-compare; create it with bench-baseline.
+BENCH_BASELINE ?= bench-baseline.json
+
+.PHONY: check build vet test race bench bench-json bench-baseline bench-compare bench-smoke
 
 check: vet test race
 
@@ -26,3 +29,17 @@ bench:
 # Machine-readable benchmark results (the BENCH_*.json trajectory).
 bench-json:
 	$(GO) run ./cmd/ethbench
+
+# Record the current benchmark numbers as the comparison baseline.
+bench-baseline:
+	$(GO) run ./cmd/ethbench > $(BENCH_BASELINE)
+
+# Compare against the recorded baseline; exits non-zero on a >20%
+# regression in ns/op or allocs/op of any shared benchmark.
+bench-compare:
+	$(GO) run ./cmd/ethbench -baseline $(BENCH_BASELINE)
+
+# One-iteration pass over every benchmark so bench code cannot rot; used by
+# CI, where full benchmark timings would be noise anyway.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -157,6 +157,34 @@ func BenchmarkSimulator100kBlocks(b *testing.B) {
 	b.ReportMetric(100000, "blocks/op")
 }
 
+func BenchmarkSimulator100kBlocks1000Miners(b *testing.B) {
+	// The paper's actual Sec. V population: 1000 equal miners, 350 selfish.
+	// Per-event cost must stay independent of the population size (alias-
+	// table sampling), so this tracks within a small factor of the
+	// two-agent 100k bench rather than ~500x slower.
+	b.ReportAllocs()
+	pop, err := mining.Equal(1000, 350)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := sim.Run(sim.Config{
+			Population: pop,
+			Gamma:      0.5,
+			Blocks:     100000,
+			Seed:       uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.RegularCount == 0 {
+			b.Fatal("no settled blocks")
+		}
+	}
+	b.ReportMetric(100000, "blocks/op")
+}
+
 func BenchmarkSimulator1000Miners(b *testing.B) {
 	b.ReportAllocs()
 	pop, err := mining.Equal(1000, 350)

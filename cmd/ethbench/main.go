@@ -8,9 +8,12 @@
 //
 // Flags:
 //
-//	-filter S     run only benchmarks whose name contains S
-//	-parallel N   experiment engine workers (default 0: one per CPU)
-//	-list         print benchmark names and exit
+//	-filter S       run only benchmarks whose name contains S
+//	-parallel N     experiment engine workers (default 0: one per CPU)
+//	-list           print benchmark names and exit
+//	-baseline FILE  compare against a saved JSON run instead of printing
+//	                JSON: print per-benchmark deltas (ns/op, allocs/op)
+//	                and exit non-zero on a >20% regression in either
 //
 // Each result records iterations, ns/op, bytes/op and allocs/op as measured
 // by testing.Benchmark, plus the parallelism and GOMAXPROCS in force, so
@@ -54,6 +57,26 @@ func benchmarks() []benchmark {
 	return []benchmark{
 		{name: "sim-100k-blocks", run: func(b *testing.B, parallel int) {
 			pop, err := mining.TwoAgent(0.35)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     100000,
+					Seed:       uint64(i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "sim-100k-blocks-1000-miners", run: func(b *testing.B, parallel int) {
+			// The paper's actual Sec. V population (1000 equal
+			// miners); alias-table sampling keeps it within a small
+			// factor of the two-agent run above.
+			pop, err := mining.Equal(1000, 350)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -130,6 +153,7 @@ func run(args []string, w io.Writer) error {
 		filter   = fs.String("filter", "", "run only benchmarks whose name contains this substring")
 		parallel = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
 		list     = fs.Bool("list", false, "print benchmark names and exit")
+		baseline = fs.String("baseline", "", "compare against this saved JSON run and fail on >20% regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -173,7 +197,74 @@ func run(args []string, w io.Writer) error {
 	if results == nil {
 		return fmt.Errorf("no benchmark matches filter %q", *filter)
 	}
+	if *baseline != "" {
+		return compareBaseline(w, *baseline, results)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// regressionLimit is the tolerated relative increase in ns/op or allocs/op
+// before the compare mode fails.
+const regressionLimit = 0.20
+
+// compareBaseline prints per-benchmark deltas against a saved JSON run and
+// returns an error (non-zero exit) if any shared benchmark regressed by
+// more than regressionLimit in ns/op or allocs/op.
+func compareBaseline(w io.Writer, path string, results []Result) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []Result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseByName := make(map[string]Result, len(base))
+	for _, r := range base {
+		baseByName[r.Name] = r
+	}
+
+	var regressions []string
+	fmt.Fprintf(w, "%-32s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "ns/op(base)", "ns/op(new)", "delta", "allocs(b)", "allocs(n)", "delta")
+	for _, r := range results {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14s %14.0f %8s %10s %10d %8s\n",
+				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp, "new")
+			continue
+		}
+		nsDelta := relativeDelta(b.NsPerOp, r.NsPerOp)
+		allocDelta := relativeDelta(float64(b.AllocsPerOp), float64(r.AllocsPerOp))
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%% %10d %10d %+7.1f%%\n",
+			r.Name, b.NsPerOp, r.NsPerOp, 100*nsDelta, b.AllocsPerOp, r.AllocsPerOp, 100*allocDelta)
+		if nsDelta > regressionLimit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %+.1f%%", r.Name, 100*nsDelta))
+		}
+		if allocDelta > regressionLimit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %+.1f%%", r.Name, 100*allocDelta))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("regressions over %.0f%%: %s",
+			100*regressionLimit, strings.Join(regressions, "; "))
+	}
+	return nil
+}
+
+// relativeDelta returns (new-base)/base, treating a zero base as no change
+// unless the new value is positive (then it is an unbounded regression only
+// if the metric grew, reported as +100%).
+func relativeDelta(base, new float64) float64 {
+	if base == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (new - base) / base
 }

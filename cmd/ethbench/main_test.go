@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -55,5 +57,70 @@ func TestRejectsPositionalArguments(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"extra"}, &out); err == nil {
 		t.Error("positional arguments should fail")
+	}
+}
+
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	raw, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaselinePassesWithinTolerance(t *testing.T) {
+	results := []Result{{Name: "x", NsPerOp: 110, AllocsPerOp: 10}}
+	base := []Result{{Name: "x", NsPerOp: 100, AllocsPerOp: 10}}
+	var out bytes.Buffer
+	if err := compareBaseline(&out, writeBaseline(t, base), results); err != nil {
+		t.Fatalf("10%% slower should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "x") {
+		t.Errorf("delta table missing benchmark row:\n%s", out.String())
+	}
+}
+
+func TestCompareBaselineFailsOnNsRegression(t *testing.T) {
+	results := []Result{{Name: "x", NsPerOp: 130, AllocsPerOp: 10}}
+	base := []Result{{Name: "x", NsPerOp: 100, AllocsPerOp: 10}}
+	var out bytes.Buffer
+	err := compareBaseline(&out, writeBaseline(t, base), results)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("30%% slower should fail on ns/op, got %v", err)
+	}
+}
+
+func TestCompareBaselineFailsOnAllocRegression(t *testing.T) {
+	results := []Result{{Name: "x", NsPerOp: 100, AllocsPerOp: 13}}
+	base := []Result{{Name: "x", NsPerOp: 100, AllocsPerOp: 10}}
+	var out bytes.Buffer
+	err := compareBaseline(&out, writeBaseline(t, base), results)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("30%% more allocs should fail, got %v", err)
+	}
+}
+
+func TestCompareBaselineToleratesNewBenchmarks(t *testing.T) {
+	// A benchmark absent from the baseline is reported but never a
+	// regression, so adding benchmarks cannot break the compare gate.
+	results := []Result{{Name: "brand-new", NsPerOp: 100, AllocsPerOp: 5}}
+	var out bytes.Buffer
+	if err := compareBaseline(&out, writeBaseline(t, nil), results); err != nil {
+		t.Fatalf("new benchmark should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "brand-new") {
+		t.Errorf("new benchmark missing from table:\n%s", out.String())
+	}
+}
+
+func TestCompareBaselineMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := compareBaseline(&out, "/no/such/file.json", nil); err == nil {
+		t.Error("missing baseline file should fail")
 	}
 }

@@ -32,9 +32,19 @@
 // Parallelism knob (default: one worker per CPU) that never changes
 // results — per-run seeds are derived from the base seed alone and results
 // are collected in run order, so parallel output is bit-identical to
-// sequential. The simulator's per-event hot path is allocation-free in
-// steady state: the block tree pre-allocates from the configured run
-// length and uncle-eligibility scanning reuses height-indexed scratch
-// buffers. cmd/ethbench emits machine-readable benchmark results for
-// tracking both properties.
+// sequential.
+//
+// The simulator's per-event cost is O(1) in the population size: miner
+// draws go through a precomputed Walker alias table (one Uint64 plus one
+// Float64 per event, whatever the number of miners), state occupancy is a
+// dense (Ls, Lh) grid increment with a rare-overflow map, uncle candidates
+// are tracked as an incrementally maintained fork-child set rather than
+// rescanned, and reward settlement tallies into dense per-miner slices
+// indexed by MinerID with the schedule's Ku/Kn pre-expanded into lookup
+// tables. The hot path is also allocation-free in steady state — including
+// across run restarts: each worker reuses one simulator (block tree, uncle
+// arena, candidate window, occupancy grid, scratch buffers) for every run
+// it executes, resetting rather than re-allocating. cmd/ethbench emits
+// machine-readable benchmark results and a -baseline compare mode for
+// tracking all of these properties.
 package ethselfish

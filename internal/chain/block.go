@@ -14,7 +14,9 @@ import (
 )
 
 // MinerID identifies the miner that produced a block. The simulator assigns
-// IDs; the tree only records them.
+// IDs; the tree only records them. IDs must be non-negative: they index the
+// dense per-miner reward tallies computed by settlement (genesis is
+// conventionally the reserved ID 0, populations use 1..n).
 type MinerID int
 
 // BlockID is a dense handle for a block within one Tree.
@@ -102,4 +104,7 @@ var (
 	// ErrDuplicateUncle is returned when the same uncle appears twice in
 	// one block.
 	ErrDuplicateUncle = errors.New("chain: duplicate uncle reference in one block")
+
+	// ErrBadMinerID is returned when a block's miner ID is negative.
+	ErrBadMinerID = errors.New("chain: miner ID must be non-negative")
 )

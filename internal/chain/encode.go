@@ -46,9 +46,10 @@ func (t *Tree) Encode(w io.Writer) error {
 			MaxUncleDepth:     t.cfg.MaxUncleDepth,
 			MaxUnclesPerBlock: t.cfg.MaxUnclesPerBlock,
 		},
-		Blocks: make([]blockJSON, 0, len(t.blocks)),
+		Blocks: make([]blockJSON, 0, t.Len()),
 	}
-	for _, b := range t.blocks {
+	for id := 0; id < t.Len(); id++ {
+		b := t.Block(BlockID(id))
 		doc.Blocks = append(doc.Blocks, blockJSON{
 			ID:     b.ID,
 			Parent: b.Parent,

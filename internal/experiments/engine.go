@@ -60,12 +60,16 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 		configs[j] = cfg
 	}
 
-	results, err := grid(opts.Parallelism, len(jobs)*opts.Runs, func(k int) (sim.Result, error) {
-		j, r := k/opts.Runs, k%opts.Runs
-		cfg := configs[j]
-		cfg.Seed = sim.DeriveSeed(pointSeed(opts, jobs[j].alpha), r)
-		return sim.Run(cfg)
-	})
+	// Each worker reuses one simulator (tree, arena, scratch) across all
+	// the work items it processes; reuse never changes results, so the
+	// grid stays bit-identical to sequential fresh-simulator runs.
+	results, err := parallel.MapWith(opts.Parallelism, len(jobs)*opts.Runs, sim.NewRunner,
+		func(rn *sim.Runner, k int) (sim.Result, error) {
+			j, r := k/opts.Runs, k%opts.Runs
+			cfg := configs[j]
+			cfg.Seed = sim.DeriveSeed(pointSeed(opts, jobs[j].alpha), r)
+			return rn.Run(cfg)
+		})
 	if err != nil {
 		return nil, err
 	}

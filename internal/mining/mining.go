@@ -23,7 +23,19 @@ var (
 	// ErrBadPower is returned when a miner's hash power is not a
 	// positive finite number.
 	ErrBadPower = errors.New("mining: miner hash power must be positive")
+
+	// ErrBadID is returned when a miner's ID is negative or too sparse
+	// for the population. IDs index the dense per-miner structures used
+	// by sampling and reward settlement, so they must be non-negative
+	// and roughly dense (the reserved genesis ID is 0 and populations
+	// conventionally use 1..n); a huge sparse ID would silently turn
+	// O(n) construction into an O(maxID) allocation.
+	ErrBadID = errors.New("mining: miner ID negative or too sparse for the population")
 )
+
+// maxIDSlack bounds how sparse miner IDs may be: the largest ID must stay
+// below maxIDSlack*len(miners) + maxIDSlack.
+const maxIDSlack = 64
 
 // Miner describes one participant.
 type Miner struct {
@@ -38,42 +50,64 @@ type Miner struct {
 	Selfish bool
 }
 
-// Population is a fixed set of miners with normalized hash powers.
+// Population is a fixed set of miners with normalized hash powers. All
+// per-draw and per-query structures (the alias table, the selfish-ID index)
+// are precomputed at construction, so sampling and pool-membership checks
+// cost O(1) regardless of population size. A Population is immutable and
+// safe for concurrent use (each Source must still be goroutine-local).
 type Population struct {
 	miners  []Miner
 	weights []float64
 	alpha   float64
+
+	// alias is the Walker alias table over weights: one Uint64 plus one
+	// Float64 per draw, independent of the number of miners.
+	alias *rng.AliasTable
+
+	// selfishByID indexes pool membership by MinerID, replacing the
+	// per-run map the simulator used to rebuild from Miners().
+	selfishByID []bool
 }
 
 // NewPopulation validates and normalizes the miner set. Miner IDs must be
-// unique. The fraction of selfish power (alpha) is computed from the
-// normalized weights.
+// unique and non-negative. The fraction of selfish power (alpha) is computed
+// from the normalized weights.
 func NewPopulation(miners []Miner) (*Population, error) {
 	if len(miners) == 0 {
 		return nil, ErrNoMiners
 	}
 	var total float64
+	maxID := chain.MinerID(0)
 	seen := make(map[chain.MinerID]bool, len(miners))
 	for _, m := range miners {
 		if !(m.Power > 0) || m.Power > 1e18 {
 			return nil, fmt.Errorf("miner %d power %v: %w", m.ID, m.Power, ErrBadPower)
 		}
+		if m.ID < 0 || int(m.ID) > maxIDSlack*(len(miners)+1) {
+			return nil, fmt.Errorf("miner ID %d (population of %d): %w", m.ID, len(miners), ErrBadID)
+		}
 		if seen[m.ID] {
 			return nil, fmt.Errorf("mining: duplicate miner ID %d", m.ID)
 		}
 		seen[m.ID] = true
+		if m.ID > maxID {
+			maxID = m.ID
+		}
 		total += m.Power
 	}
 	p := &Population{
-		miners:  append([]Miner(nil), miners...),
-		weights: make([]float64, len(miners)),
+		miners:      append([]Miner(nil), miners...),
+		weights:     make([]float64, len(miners)),
+		selfishByID: make([]bool, maxID+1),
 	}
 	for i, m := range miners {
 		p.weights[i] = m.Power / total
 		if m.Selfish {
 			p.alpha += p.weights[i]
+			p.selfishByID[m.ID] = true
 		}
 	}
+	p.alias = rng.NewAliasTable(p.weights)
 	return p, nil
 }
 
@@ -134,9 +168,18 @@ func (p *Population) Miners() []Miner {
 	return out
 }
 
-// Sample draws the producer of the next block, weighted by hash power.
+// IsSelfish reports whether the miner with the given ID belongs to the
+// colluding pool. Unknown IDs are honest. It is an O(1) index lookup, safe
+// for per-block use.
+func (p *Population) IsSelfish(id chain.MinerID) bool {
+	return int(id) < len(p.selfishByID) && p.selfishByID[id]
+}
+
+// Sample draws the producer of the next block, weighted by hash power. The
+// draw uses the precomputed alias table: O(1) per event independent of the
+// population size, consuming exactly two generator outputs.
 func (p *Population) Sample(r *rng.Source) Miner {
-	return p.miners[r.Categorical(p.weights)]
+	return p.miners[p.alias.Draw(r)]
 }
 
 // NextEvent draws the next block event under a Poisson race at the given

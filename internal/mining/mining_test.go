@@ -121,6 +121,75 @@ func TestSampleFrequencies(t *testing.T) {
 	}
 }
 
+func TestIsSelfishMatchesMinerFlags(t *testing.T) {
+	p, err := NewPopulation([]Miner{
+		{ID: 3, Power: 1, Selfish: true},
+		{ID: 7, Power: 2},
+		{ID: 1, Power: 1, Selfish: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range p.Miners() {
+		if got := p.IsSelfish(m.ID); got != m.Selfish {
+			t.Errorf("IsSelfish(%d) = %v, want %v", m.ID, got, m.Selfish)
+		}
+	}
+	// Unknown and out-of-range IDs are honest.
+	for _, id := range []chain.MinerID{0, 2, 100} {
+		if p.IsSelfish(id) {
+			t.Errorf("IsSelfish(%d) = true for a miner not in the population", id)
+		}
+	}
+}
+
+func TestNewPopulationRejectsNegativeID(t *testing.T) {
+	if _, err := NewPopulation([]Miner{{ID: -1, Power: 1}}); !errors.Is(err, ErrBadID) {
+		t.Errorf("negative ID: err = %v, want ErrBadID", err)
+	}
+}
+
+func TestNewPopulationRejectsSparseID(t *testing.T) {
+	// A huge sparse ID would make the dense selfish index (and the dense
+	// settlement tallies downstream) allocate O(maxID) memory.
+	if _, err := NewPopulation([]Miner{{ID: 1 << 30, Power: 1}}); !errors.Is(err, ErrBadID) {
+		t.Errorf("sparse ID: err = %v, want ErrBadID", err)
+	}
+	// Moderately sparse IDs stay allowed.
+	if _, err := NewPopulation([]Miner{{ID: 100, Power: 1}, {ID: 7, Power: 2}}); err != nil {
+		t.Errorf("moderately sparse IDs rejected: %v", err)
+	}
+}
+
+func TestSampleMatchesCategoricalDistribution(t *testing.T) {
+	// The alias-table sampler must reproduce the weight distribution the
+	// linear categorical draw defines; compare per-miner frequencies on
+	// a skewed population.
+	p, err := NewPopulation([]Miner{
+		{ID: 1, Power: 10, Selfish: true},
+		{ID: 2, Power: 1},
+		{ID: 3, Power: 5},
+		{ID: 4, Power: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2024)
+	const n = 200000
+	counts := make(map[chain.MinerID]int)
+	for i := 0; i < n; i++ {
+		counts[p.Sample(r).ID]++
+	}
+	for _, m := range p.Miners() {
+		got := float64(counts[m.ID]) / n
+		want := m.Power // Miners() returns normalized powers
+		sigma := math.Sqrt(want * (1 - want) / n)
+		if math.Abs(got-want) > 5*sigma+1e-9 {
+			t.Errorf("miner %d: frequency %v, want %v +/- 5 sigma", m.ID, got, want)
+		}
+	}
+}
+
 func TestNextEventTiming(t *testing.T) {
 	p, err := TwoAgent(0.4)
 	if err != nil {

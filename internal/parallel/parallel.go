@@ -2,7 +2,10 @@
 // simulation batch runner (sim.RunMany) and the experiment grid engine.
 // Work items are independent and indexed; results come back in index order
 // and the lowest-index error wins, so output never depends on goroutine
-// scheduling.
+// scheduling. MapWith additionally threads one reusable state value per
+// worker through the items it processes, so callers can amortize large
+// allocations (simulators, arenas) across a batch without affecting
+// results.
 package parallel
 
 import (
@@ -15,6 +18,18 @@ import (
 // order. All indices are evaluated even when one fails; the lowest-index
 // error is returned, so failures are deterministic under parallelism too.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWith(workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// MapWith is Map with per-worker state: every worker goroutine obtains one
+// value from newState and hands it to each invocation it executes. The
+// state exists to carry reusable resources — simulators, arenas, scratch
+// buffers — across the work items a worker happens to process; it must not
+// influence results, which keep the Map contract (index order, all indices
+// evaluated, lowest-index error) regardless of how items land on workers.
+func MapWith[S, T any](workers, n int, newState func() S, fn func(state S, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -27,8 +42,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	if workers <= 1 {
+		state := newState()
 		for i := 0; i < n; i++ {
-			results[i], errs[i] = fn(i)
+			results[i], errs[i] = fn(state, i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -37,8 +53,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				state := newState()
 				for i := range jobs {
-					results[i], errs[i] = fn(i)
+					results[i], errs[i] = fn(state, i)
 				}
 			}()
 		}

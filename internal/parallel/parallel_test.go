@@ -3,6 +3,8 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -24,6 +26,49 @@ func TestMapEmpty(t *testing.T) {
 	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
 	if err != nil || got != nil {
 		t.Fatalf("empty map: got (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+// TestMapWithStatePerWorker: each worker obtains exactly one state value
+// and every invocation it runs sees that value, so callers can safely hang
+// reusable resources off it.
+func TestMapWithStatePerWorker(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var states atomic.Int32
+		seen := sync.Map{}
+		got, err := MapWith(workers, 40,
+			func() *int32 { id := states.Add(1); return &id },
+			func(state *int32, i int) (int, error) {
+				seen.Store(i, *state)
+				return i + int(*state), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := int(states.Load()); n > workers {
+			t.Errorf("workers=%d: %d states created, want at most %d", workers, n, workers)
+		}
+		for i, v := range got {
+			state, _ := seen.Load(i)
+			if v != i+int(state.(int32)) {
+				t.Errorf("workers=%d: result[%d] = %d inconsistent with state %d", workers, i, v, state)
+			}
+		}
+	}
+}
+
+// TestMapWithSequentialSingleState: the workers<=1 path shares one state
+// across all indices.
+func TestMapWithSequentialSingleState(t *testing.T) {
+	calls := 0
+	_, err := MapWith(1, 10,
+		func() *int { calls++; return new(int) },
+		func(state *int, i int) (int, error) { *state++; return *state, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("newState called %d times, want 1", calls)
 	}
 }
 

@@ -31,6 +31,12 @@ const EthereumNephewReward = 1.0 / 32
 
 var errNonFinite = errors.New("rewards: reward values must be finite and non-negative")
 
+// tableDepth caps the pre-expanded Ku/Kn lookup tables. Settlement only
+// consults distances within the simulator's reference window (64), so every
+// hot-path lookup is a slice index; deeper distances of an unbounded
+// schedule fall back to the defining functions.
+const tableDepth = 64
+
 // Schedule is a complete reward specification.
 type Schedule struct {
 	name string
@@ -45,6 +51,26 @@ type Schedule struct {
 
 	// maxDepth is the largest distance at which a reference is allowed.
 	maxDepth int
+
+	// ku and kn pre-expand the uncle and nephew functions over distances
+	// 1..min(maxDepth, tableDepth) (index 0 unused), so settlement pays a
+	// slice index instead of a closure call per reference. Built once by
+	// every constructor; shared, immutable.
+	ku, kn []float64
+}
+
+// buildTables fills the Ku/Kn lookup tables from the defining functions.
+func (s *Schedule) buildTables() {
+	depth := s.maxDepth
+	if depth > tableDepth {
+		depth = tableDepth
+	}
+	s.ku = make([]float64, depth+1)
+	s.kn = make([]float64, depth+1)
+	for l := 1; l <= depth; l++ {
+		s.ku[l] = s.uncle(l)
+		s.kn[l] = s.nephew(l)
+	}
 }
 
 // NewSchedule builds a custom schedule from arbitrary Ku and Kn functions,
@@ -70,13 +96,16 @@ func NewSchedule(name string, uncle, nephew func(int) float64, maxDepth int) (Sc
 			}
 		}
 	}
-	return Schedule{name: name, uncle: uncle, nephew: nephew, maxDepth: maxDepth}, nil
+	s := Schedule{name: name, uncle: uncle, nephew: nephew, maxDepth: maxDepth}
+	s.buildTables()
+	return s, nil
 }
 
-// Ethereum returns the Byzantium-era schedule used throughout the paper's
-// evaluation: Ku(l) = (8-l)/8 for 1 <= l <= 6 and 0 beyond, Kn = 1/32.
-func Ethereum() Schedule {
-	return Schedule{
+// ethereumSchedule is built once; Ethereum() is called per simulation run,
+// so the returned value must share prebuilt tables instead of re-expanding
+// them.
+var ethereumSchedule = func() Schedule {
+	s := Schedule{
 		name: "ethereum",
 		uncle: func(l int) float64 {
 			if l < 1 || l > EthereumMaxUncleDepth {
@@ -87,6 +116,14 @@ func Ethereum() Schedule {
 		nephew:   func(int) float64 { return EthereumNephewReward },
 		maxDepth: EthereumMaxUncleDepth,
 	}
+	s.buildTables()
+	return s
+}()
+
+// Ethereum returns the Byzantium-era schedule used throughout the paper's
+// evaluation: Ku(l) = (8-l)/8 for 1 <= l <= 6 and 0 beyond, Kn = 1/32.
+func Ethereum() Schedule {
+	return ethereumSchedule
 }
 
 // Constant returns a schedule paying a fixed uncle reward ku at every
@@ -102,16 +139,23 @@ func Constant(ku float64, maxDepth int) (Schedule, error) {
 	)
 }
 
-// Bitcoin returns the degenerate schedule with no uncle or nephew rewards;
-// under it the Ethereum model reduces to Eyal-Sirer's static-reward
-// analysis (Remark 4).
-func Bitcoin() Schedule {
-	return Schedule{
+// bitcoinSchedule is built once, like ethereumSchedule.
+var bitcoinSchedule = func() Schedule {
+	s := Schedule{
 		name:     "bitcoin",
 		uncle:    func(int) float64 { return 0 },
 		nephew:   func(int) float64 { return 0 },
 		maxDepth: 1,
 	}
+	s.buildTables()
+	return s
+}()
+
+// Bitcoin returns the degenerate schedule with no uncle or nephew rewards;
+// under it the Ethereum model reduces to Eyal-Sirer's static-reward
+// analysis (Remark 4).
+func Bitcoin() Schedule {
+	return bitcoinSchedule
 }
 
 // Name returns a short identifier for the schedule.
@@ -128,10 +172,14 @@ func (s Schedule) Referenceable(distance int) bool {
 
 // Uncle returns Ku(distance), the reward earned by an uncle block referenced
 // at the given distance, as a fraction of the static reward. It is zero for
-// non-referenceable distances.
+// non-referenceable distances. Distances within the lookup table (all of
+// them, unless the schedule is deeper than 64) cost a slice index.
 func (s Schedule) Uncle(distance int) float64 {
 	if !s.Referenceable(distance) {
 		return 0
+	}
+	if distance < len(s.ku) {
+		return s.ku[distance]
 	}
 	return s.uncle(distance)
 }
@@ -142,6 +190,9 @@ func (s Schedule) Uncle(distance int) float64 {
 func (s Schedule) Nephew(distance int) float64 {
 	if !s.Referenceable(distance) {
 		return 0
+	}
+	if distance < len(s.kn) {
+		return s.kn[distance]
 	}
 	return s.nephew(distance)
 }

@@ -31,16 +31,7 @@ type Source struct {
 // xoshiro authors. Distinct seeds give statistically independent streams.
 func New(seed uint64) *Source {
 	var src Source
-	sm := seed
-	for i := range src.s {
-		sm += goldenGamma
-		src.s[i] = splitmix64(sm)
-	}
-	// xoshiro256** must not be seeded with the all-zero state; splitmix64
-	// cannot produce four zero outputs from any seed, but guard anyway.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = goldenGamma
-	}
+	src.Reseed(seed)
 	return &src
 }
 
@@ -48,6 +39,22 @@ func New(seed uint64) *Source {
 // parent advances, so successive Split calls return distinct streams.
 func (r *Source) Split() *Source {
 	return New(r.Uint64())
+}
+
+// Reseed resets the generator in place to the state New(seed) produces,
+// without allocating. Batch runners use it to reuse one Source per worker
+// across many independently seeded runs.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += goldenGamma
+		r.s[i] = splitmix64(sm)
+	}
+	// xoshiro256** must not be seeded with the all-zero state; splitmix64
+	// cannot produce four zero outputs from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = goldenGamma
+	}
 }
 
 // Uint64 returns the next value of the xoshiro256** sequence.
@@ -146,6 +153,101 @@ func (r *Source) Categorical(weights []float64) int {
 		}
 	}
 	return 0
+}
+
+// AliasTable draws from a fixed categorical distribution in O(1) per draw
+// using Walker's alias method: column i is selected uniformly, then either
+// accepted (probability prob[i]) or redirected to alias[i]. Construction is
+// O(n); afterwards every draw costs exactly one Uint64 and one Float64
+// regardless of the number of categories, whereas Categorical re-walks the
+// whole weight vector on every call. The linear Categorical remains the
+// distribution oracle the alias table is tested against.
+//
+// An AliasTable is immutable after construction and therefore safe for
+// concurrent use by multiple Sources.
+type AliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasTable builds the alias table for the given weights, with the same
+// weight semantics as Categorical: negative weights are treated as zero, and
+// it panics if the total weight is not positive. len(weights) must fit in an
+// int32 (over two billion categories would exceed memory long before).
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("rng: NewAliasTable called with non-positive total weight")
+	}
+
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scale weights so the average column holds exactly 1; split columns
+	// into under- and over-full work lists, then repeatedly top up an
+	// under-full column from an over-full one (Vose's stable variant).
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are full columns up to floating-point round-off; a
+	// zero-weight column can never be left over because its deficit is
+	// always paid for by some over-full column.
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+// Len returns the number of categories.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Draw returns an index distributed according to the table's weights. It
+// consumes exactly two generator outputs: the column is chosen by a
+// multiply-shift reduction of one Uint64 (bias below n/2^64, astronomically
+// under simulation resolution, in exchange for a fixed consumption pattern),
+// and the accept-or-alias coin is one Float64.
+func (t *AliasTable) Draw(r *Source) int {
+	hi, _ := bits.Mul64(r.Uint64(), uint64(len(t.prob)))
+	i := int(hi)
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
 }
 
 // Perm returns a random permutation of [0, n) using Fisher–Yates.

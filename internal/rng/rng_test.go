@@ -232,6 +232,125 @@ func TestCategoricalPanicsOnZeroTotal(t *testing.T) {
 	New(1).Categorical([]float64{0, 0})
 }
 
+// chiSquared returns the chi-squared statistic of observed counts against
+// expected probabilities over n draws, skipping zero-probability bins, and
+// the degrees of freedom used.
+func chiSquared(counts []int, probs []float64, n int) (stat float64, df int) {
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		expect := p * float64(n)
+		d := float64(counts[i]) - expect
+		stat += d * d / expect
+		df++
+	}
+	return stat, df - 1
+}
+
+// chiSquaredCritical approximates the upper 0.001 quantile of the
+// chi-squared distribution via the Wilson-Hilferty cube transform, ample
+// for a deterministic-seed sanity band.
+func chiSquaredCritical(df int) float64 {
+	const z = 3.09 // standard normal upper 0.001 quantile
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// TestAliasTableMatchesCategoricalOracle is the distribution property pin
+// for the O(1) sampler: across skewed, uniform, and zero-weight populations
+// the alias table's draws must follow the same distribution as the linear
+// Categorical oracle. Both samplers are chi-squared against the exact
+// probabilities, and zero-weight categories must never be drawn by either.
+func TestAliasTableMatchesCategoricalOracle(t *testing.T) {
+	const n = 200000
+	uniform1000 := make([]float64, 1000)
+	for i := range uniform1000 {
+		uniform1000[i] = 1
+	}
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"uniform", []float64{1, 1, 1, 1, 1, 1, 1, 1}},
+		{"skewed", []float64{1000, 1, 5, 0.01, 200, 3}},
+		{"zero-weights", []float64{0, 3, 0, 1, 2, 0}},
+		{"negative-as-zero", []float64{-2, 3, -1, 1}},
+		{"single", []float64{7}},
+		{"uniform-1000", uniform1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var total float64
+			for _, w := range tc.weights {
+				if w > 0 {
+					total += w
+				}
+			}
+			probs := make([]float64, len(tc.weights))
+			for i, w := range tc.weights {
+				if w > 0 {
+					probs[i] = w / total
+				}
+			}
+
+			table := NewAliasTable(tc.weights)
+			if table.Len() != len(tc.weights) {
+				t.Fatalf("Len = %d, want %d", table.Len(), len(tc.weights))
+			}
+			r := New(4242)
+			aliasCounts := make([]int, len(tc.weights))
+			for i := 0; i < n; i++ {
+				aliasCounts[table.Draw(r)]++
+			}
+			oracleCounts := make([]int, len(tc.weights))
+			for i := 0; i < n; i++ {
+				oracleCounts[r.Categorical(tc.weights)]++
+			}
+
+			for i, p := range probs {
+				if p == 0 && aliasCounts[i] != 0 {
+					t.Errorf("alias drew zero-weight index %d %d times", i, aliasCounts[i])
+				}
+				if p == 0 && oracleCounts[i] != 0 {
+					t.Errorf("oracle drew zero-weight index %d %d times", i, oracleCounts[i])
+				}
+			}
+			for name, counts := range map[string][]int{"alias": aliasCounts, "oracle": oracleCounts} {
+				stat, df := chiSquared(counts, probs, n)
+				if df == 0 {
+					continue // single category: nothing to test
+				}
+				if crit := chiSquaredCritical(df); stat > crit {
+					t.Errorf("%s chi-squared %.2f exceeds critical %.2f (df %d)", name, stat, crit, df)
+				}
+			}
+		})
+	}
+}
+
+func TestAliasTablePanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAliasTable with zero total weight did not panic")
+		}
+	}()
+	NewAliasTable([]float64{0, -1, 0})
+}
+
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(99)
+	r.Uint64() // advance away from the initial state
+	r.Reseed(7)
+	fresh := New(7)
+	for i := 0; i < 16; i++ {
+		if got, want := r.Uint64(), fresh.Uint64(); got != want {
+			t.Fatalf("draw %d: Reseed stream %d, New stream %d", i, got, want)
+		}
+	}
+}
+
 func TestPermIsPermutation(t *testing.T) {
 	r := New(31)
 	for _, n := range []int{0, 1, 2, 10, 100} {

@@ -100,6 +100,45 @@ func TestRunManyParallelError(t *testing.T) {
 	}
 }
 
+// TestRunnerReuseMatchesFreshRuns pins the simulator-reuse contract: one
+// Runner executing a heterogeneous sequence of configurations (different
+// populations, block counts, schedules, seeds) must produce results
+// bit-identical to fresh Run calls — i.e. init fully resets every piece of
+// run state it reuses.
+func TestRunnerReuseMatchesFreshRuns(t *testing.T) {
+	two, err := mining.TwoAgent(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thousand, err := mining.Equal(1000, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []Config{
+		{Population: thousand, Gamma: 0.5, Blocks: 8000, Seed: 1},
+		{Population: two, Gamma: 0.5, Blocks: 3000, Seed: 2},
+		{Population: two, Gamma: 0, Blocks: 5000, Seed: 1, MaxUnclesPerBlock: 2},
+		{Population: thousand, Gamma: 1, Blocks: 2000, Seed: 3},
+		// Repeat the first configuration: the runner's storage has been
+		// through smaller and differently shaped runs in between.
+		{Population: thousand, Gamma: 0.5, Blocks: 8000, Seed: 1},
+	}
+	runner := NewRunner()
+	for i, cfg := range configs {
+		reused, err := runner.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reused, fresh) {
+			t.Errorf("config %d: reused runner result differs from fresh run", i)
+		}
+	}
+}
+
 func TestDeriveSeedSpreadsRuns(t *testing.T) {
 	seen := make(map[uint64]bool)
 	for i := 0; i < 100; i++ {

@@ -22,8 +22,11 @@ type Result struct {
 	Pool   chain.Reward
 	Honest chain.Reward
 
-	// PerMiner holds each miner's reward tally.
-	PerMiner map[chain.MinerID]chain.Reward
+	// MinerRewards is the dense per-miner tally, indexed by MinerID
+	// (IDs at or beyond its length earned nothing); MinerSeen marks the
+	// IDs that appeared in the settlement. PerMiner is the map view.
+	MinerRewards []chain.Reward
+	MinerSeen    []bool
 
 	// RegularCount, UncleCount and StaleCount classify settled blocks.
 	RegularCount int
@@ -37,8 +40,22 @@ type Result struct {
 
 	// Occupancy counts block events by the (Ls, Lh) state observed just
 	// before the event; normalizing estimates the stationary
-	// distribution.
+	// distribution. It is materialized once per run from the simulator's
+	// dense occupancy grid.
 	Occupancy map[core.State]int64
+}
+
+// MinerReward returns one miner's settled tally (zero if it earned
+// nothing).
+func (r Result) MinerReward(id chain.MinerID) chain.Reward {
+	return chain.MinerRewardAt(r.MinerRewards, id)
+}
+
+// PerMiner returns the map view of the per-miner tallies: every miner that
+// appeared in the settlement, keyed by ID. It is built on demand;
+// iteration-heavy callers should use the dense MinerRewards directly.
+func (r Result) PerMiner() map[chain.MinerID]chain.Reward {
+	return chain.PerMinerView(r.MinerRewards, r.MinerSeen)
 }
 
 // normalizer returns the scenario's block count (regular, or regular plus
@@ -96,10 +113,36 @@ func (r Result) StateProbability(s core.State) float64 {
 	return float64(r.Occupancy[s]) / float64(r.Blocks)
 }
 
+// Runner executes simulations while reusing one simulator's storage — the
+// block tree, uncle arena, candidate window, occupancy grid, and scratch
+// buffers — across runs. Batch drivers hold one Runner per worker so run
+// restarts stop re-allocating (and re-zeroing) ~100k-block storage; results
+// are bit-identical to fresh Run calls because init resets all run state
+// and reseeds the generator. A Runner is not safe for concurrent use.
+type Runner struct {
+	s simulator
+}
+
+// NewRunner returns an empty Runner; the first Run sizes its storage.
+func NewRunner() *Runner {
+	return &Runner{}
+}
+
+// Run executes one simulation, reusing the Runner's storage, and settles
+// it. The returned Result owns all of its data (nothing aliases the reused
+// buffers).
+func (rn *Runner) Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	rn.s.init(cfg)
+	return settleRun(&rn.s)
+}
+
 // Run executes one simulation and settles it.
 func Run(cfg Config) (Result, error) {
-	result, _, err := RunTrace(cfg)
-	return result, err
+	return NewRunner().Run(cfg)
 }
 
 // RunTrace executes one simulation and additionally returns the full block
@@ -111,32 +154,42 @@ func RunTrace(cfg Config) (Result, *chain.Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, nil, err
 	}
-	s := newSimulator(cfg)
-	if err := s.run(); err != nil {
+	var s simulator
+	s.init(cfg)
+	result, err := settleRun(&s)
+	if err != nil {
 		return Result{}, nil, err
 	}
+	return result, s.tree, nil
+}
 
+// settleRun drives an initialized simulator through its run and settles the
+// final tree into a self-contained Result.
+func settleRun(s *simulator) (Result, error) {
+	if err := s.run(); err != nil {
+		return Result{}, err
+	}
+	cfg := s.cfg
 	settlement, err := s.tree.Settle(s.base, cfg.Schedule)
 	if err != nil {
-		return Result{}, nil, fmt.Errorf("sim: settling: %w", err)
+		return Result{}, fmt.Errorf("sim: settling: %w", err)
 	}
 
-	selfish := make(map[chain.MinerID]bool, cfg.Population.Len())
-	for _, m := range cfg.Population.Miners() {
-		selfish[m.ID] = m.Selfish
-	}
-
+	pop := cfg.Population
 	result := Result{
-		Alpha:        cfg.Population.Alpha(),
+		Alpha:        pop.Alpha(),
 		Blocks:       cfg.Blocks,
-		PerMiner:     settlement.PerMiner,
+		MinerRewards: settlement.MinerRewards,
+		MinerSeen:    settlement.MinerSeen,
 		RegularCount: settlement.RegularCount,
 		UncleCount:   settlement.UncleCount,
 		StaleCount:   settlement.StaleCount,
-		Occupancy:    s.occupancy,
+		Occupancy:    s.occupancyMap(),
 	}
-	for id, reward := range settlement.PerMiner {
-		if selfish[id] {
+	// Summing the dense tallies in ID order keeps the float accumulation
+	// order deterministic (the map view has no stable order).
+	for id, reward := range settlement.MinerRewards {
+		if pop.IsSelfish(chain.MinerID(id)) {
 			result.Pool = result.Pool.Add(reward)
 		} else {
 			result.Honest = result.Honest.Add(reward)
@@ -146,14 +199,13 @@ func RunTrace(cfg Config) (Result, *chain.Tree, error) {
 		if !cfg.Schedule.Referenceable(ref.Distance) {
 			continue
 		}
-		uncleMiner := s.tree.Block(ref.Uncle).Miner
-		if selfish[uncleMiner] {
+		if pop.IsSelfish(s.tree.MinerOf(ref.Uncle)) {
 			result.PoolUncleDistances.Observe(ref.Distance)
 		} else {
 			result.HonestUncleDistances.Observe(ref.Distance)
 		}
 	}
-	return result, s.tree, nil
+	return result, nil
 }
 
 // Series summarizes repeated runs of one configuration: per-metric
@@ -175,18 +227,21 @@ func DeriveSeed(base uint64, i int) uint64 {
 
 // RunMany executes runs independent simulations with seeds derived from
 // cfg.Seed. Runs are fanned out across cfg.Parallelism worker goroutines
-// (default GOMAXPROCS); because every run is seeded independently via
-// DeriveSeed and results are collected by run index, the returned Series is
-// bit-identical to a sequential execution.
+// (default GOMAXPROCS), each reusing one Runner for all the runs it
+// executes; because every run is seeded independently via DeriveSeed,
+// Runner reuse resets all run state, and results are collected by run
+// index, the returned Series is bit-identical to a sequential execution
+// with fresh simulators.
 func RunMany(cfg Config, runs int) (Series, error) {
 	if runs <= 0 {
 		return Series{}, fmt.Errorf("%w: runs %d must be positive", ErrBadConfig, runs)
 	}
-	results, err := parallel.Map(cfg.Parallelism, runs, func(i int) (Result, error) {
-		runCfg := cfg
-		runCfg.Seed = DeriveSeed(cfg.Seed, i)
-		return Run(runCfg)
-	})
+	results, err := parallel.MapWith(cfg.Parallelism, runs, NewRunner,
+		func(rn *Runner, i int) (Result, error) {
+			runCfg := cfg
+			runCfg.Seed = DeriveSeed(cfg.Seed, i)
+			return rn.Run(runCfg)
+		})
 	if err != nil {
 		return Series{}, err
 	}

@@ -33,6 +33,20 @@ const genesisMiner chain.MinerID = 0
 // beneath simulation resolution.
 const maxReferenceWindow = 64
 
+// occDim is the side length of the dense (Ls x Lh) occupancy grid. Branch
+// lengths reach it only in races longer than the reference window, which
+// the rare-overflow map absorbs; everything else is a single array
+// increment per event instead of a map insertion.
+const occDim = 64
+
+// windowBlock is one entry of the uncle-candidate window: a block ID with
+// its height denormalized next to it, so window maintenance stays within
+// one cache-friendly array instead of chasing tree records.
+type windowBlock struct {
+	id     chain.BlockID
+	height int
+}
+
 // ErrBadConfig is returned for invalid simulation configurations.
 var ErrBadConfig = errors.New("sim: invalid configuration")
 
@@ -106,6 +120,10 @@ func (c Config) validate() error {
 // Algorithm 1: base is the last consensus block; poolBlocks is the pool's
 // private branch above base (the first publishedCount of them announced);
 // honestBranch is the public branch honest miners are extending.
+//
+// A zero simulator is reusable: init prepares it for a run and retains all
+// storage from previous runs, so one simulator per worker amortizes the
+// ~100k-block tree and scratch allocations across a whole batch.
 type simulator struct {
 	cfg    Config
 	random *rng.Source
@@ -114,34 +132,64 @@ type simulator struct {
 	// published[id] reports whether honest miners can see the block.
 	published []bool
 
-	// recent is a sliding window of block IDs used as uncle candidates.
-	recent []chain.BlockID
+	// recent is a sliding window of blocks used as uncle candidates;
+	// entries carry their height so trimming and filtering never touch
+	// the tree. inRecent[id] tracks membership (blocks leave only by
+	// trimming).
+	recent   []windowBlock
+	inRecent []bool
+
+	// forkChildren lists the blocks in recent whose parent has at least
+	// two children, sorted by ID (= creation order, the order recent
+	// holds them). Only such blocks can ever be referenced as uncles: an
+	// eligible uncle is off the referencing chain while its parent is on
+	// it, so the parent has a second, on-chain child. eligibleUncles
+	// scans this set — almost always empty or a handful — instead of the
+	// whole candidate window, making the per-event uncle scan O(forks)
+	// rather than O(window).
+	forkChildren []windowBlock
+
+	// referencedInWindow counts the forkChildren entries some block has
+	// referenced. While it is zero, no candidate can be rejected by the
+	// already-referenced rule, so the chain walk skips gathering
+	// ancestor references entirely.
+	referencedInWindow int
 
 	base           chain.BlockID
 	poolBlocks     []chain.BlockID
 	publishedCount int
 	honestBranch   []chain.BlockID
 
-	occupancy map[core.State]int64
-	window    int
+	// occ is the dense (Ls x Lh) occupancy grid, indexed Ls*occDim+Lh;
+	// occOverflow absorbs the rare states beyond the grid (races longer
+	// than the reference window) and is allocated only when needed.
+	occ         []int64
+	occOverflow map[core.State]int64
+	window      int
 
 	// Scratch buffers reused by eligibleUncles so the per-event hot path
 	// stays allocation-free after warm-up. chainScratch maps window
 	// heights to chain ancestors (indexed by height offset), refScratch
-	// collects uncles those ancestors already reference, and
-	// uncleScratch backs the returned candidate list (safe to reuse:
-	// chain.Tree.Extend copies the uncle list it is given).
+	// collects uncles those ancestors already reference, candScratch
+	// holds filter survivors, and uncleScratch backs the returned
+	// candidate list (safe to reuse: chain.Tree.Extend copies the uncle
+	// list it is given).
 	chainScratch []chain.BlockID
 	refScratch   []chain.BlockID
 	uncleScratch []chain.BlockID
+	candScratch  []windowBlock
+	purgeScratch []chain.BlockID
 }
 
-func newSimulator(cfg Config) *simulator {
+// init prepares the simulator for one run of cfg, reusing any storage left
+// over from previous runs. cfg must already have defaults applied and be
+// validated.
+func (s *simulator) init(cfg Config) {
 	window := cfg.Schedule.MaxDepth()
 	if window > maxReferenceWindow {
 		window = maxReferenceWindow
 	}
-	tree := chain.NewTree(chain.Config{
+	treeCfg := chain.Config{
 		// The tree enforces the protocol's reference-depth rule so a
 		// buggy strategy cannot slip an ineligible uncle through.
 		MaxUncleDepth:     window,
@@ -149,19 +197,71 @@ func newSimulator(cfg Config) *simulator {
 		// One block per event: size the tree up front so it never
 		// reallocates mid-run.
 		BlocksHint: cfg.Blocks,
-	}, genesisMiner)
-	published := make([]bool, 1, cfg.Blocks+1)
-	published[0] = true // genesis
-	return &simulator{
-		cfg:          cfg,
-		random:       rng.New(cfg.Seed),
-		tree:         tree,
-		published:    published,
-		base:         tree.Genesis(),
-		occupancy:    make(map[core.State]int64),
-		window:       window,
-		chainScratch: make([]chain.BlockID, 0, window+2),
 	}
+	s.cfg = cfg
+	s.window = window
+	if s.tree == nil {
+		s.tree = chain.NewTree(treeCfg, genesisMiner)
+	} else {
+		s.tree.Reset(treeCfg, genesisMiner)
+	}
+	if s.random == nil {
+		s.random = rng.New(cfg.Seed)
+	} else {
+		s.random.Reseed(cfg.Seed)
+	}
+	if cap(s.published) < cfg.Blocks+1 {
+		s.published = make([]bool, 1, cfg.Blocks+1)
+		s.inRecent = make([]bool, 1, cfg.Blocks+1)
+	} else {
+		s.published = s.published[:1]
+		s.inRecent = s.inRecent[:1]
+	}
+	s.published[0] = true // genesis
+	s.inRecent[0] = false
+	s.recent = s.recent[:0]
+	s.forkChildren = s.forkChildren[:0]
+	s.referencedInWindow = 0
+	s.base = s.tree.Genesis()
+	s.poolBlocks = s.poolBlocks[:0]
+	s.publishedCount = 0
+	s.honestBranch = s.honestBranch[:0]
+	if s.occ == nil {
+		s.occ = make([]int64, occDim*occDim)
+	} else {
+		clear(s.occ)
+	}
+	s.occOverflow = nil
+	if cap(s.chainScratch) < window+2 {
+		s.chainScratch = make([]chain.BlockID, 0, window+2)
+	}
+}
+
+// recordState tallies the (Ls, Lh) state observed just before an event.
+func (s *simulator) recordState() {
+	ls, lh := len(s.poolBlocks), len(s.honestBranch)
+	if ls < occDim && lh < occDim {
+		s.occ[ls*occDim+lh]++
+		return
+	}
+	if s.occOverflow == nil {
+		s.occOverflow = make(map[core.State]int64)
+	}
+	s.occOverflow[core.State{S: ls, H: lh}]++
+}
+
+// occupancyMap materializes the per-state event counts (the Result view).
+func (s *simulator) occupancyMap() map[core.State]int64 {
+	out := make(map[core.State]int64)
+	for i, n := range s.occ {
+		if n != 0 {
+			out[core.State{S: i / occDim, H: i % occDim}] = n
+		}
+	}
+	for state, n := range s.occOverflow {
+		out[state] = n
+	}
+	return out
 }
 
 // state returns the current (Ls, Lh) pair of Algorithm 1.
@@ -190,22 +290,86 @@ func (s *simulator) publishedPoolTip() chain.BlockID {
 	return s.poolBlocks[s.publishedCount-1]
 }
 
+// addForkChild inserts b into the ID-sorted fork-child set. Blocks enter at
+// most once: newborns on arrival, a previously only child exactly at its
+// parent's one-to-two transition.
+func (s *simulator) addForkChild(b windowBlock) {
+	fc := append(s.forkChildren, b)
+	i := len(fc) - 1
+	for i > 0 && fc[i-1].id > b.id {
+		fc[i] = fc[i-1]
+		i--
+	}
+	fc[i] = b
+	s.forkChildren = fc
+}
+
+// removeForkChild drops b from the fork-child set, reporting whether it was
+// present, and keeps the referenced-candidate count in step.
+func (s *simulator) removeForkChild(b chain.BlockID) bool {
+	for i, x := range s.forkChildren {
+		if x.id == b {
+			s.forkChildren = append(s.forkChildren[:i], s.forkChildren[i+1:]...)
+			if s.tree.ReferencedBy(b) != chain.NoBlock {
+				s.referencedInWindow--
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // extend creates a block, records it in the candidate window, and returns
 // its ID.
 func (s *simulator) extend(parent chain.BlockID, miner chain.MinerID, uncles []chain.BlockID, visible bool) (chain.BlockID, error) {
+	// Fork-child bookkeeping feeds eligibleUncles: the new block becomes
+	// a fork child if its parent already had a child, and a previously
+	// only child becomes one alongside it (unless the window already
+	// trimmed it — a trimmed block can never be referenced again).
+	firstSibling := s.tree.FirstChildOf(parent)
+	// Count first-time references among the new block's uncles before the
+	// tree overwrites their referenced-by links. Every referenced uncle
+	// is necessarily a current fork child (it just passed eligibility).
+	for _, u := range uncles {
+		if s.tree.ReferencedBy(u) == chain.NoBlock {
+			s.referencedInWindow++
+		}
+	}
 	id, err := s.tree.Extend(parent, miner, uncles)
 	if err != nil {
+		// Roll the count back: the tree rejected the block.
+		for _, u := range uncles {
+			if s.tree.ReferencedBy(u) == chain.NoBlock {
+				s.referencedInWindow--
+			}
+		}
 		return chain.NoBlock, fmt.Errorf("sim: extending chain: %w", err)
 	}
+	height := s.tree.HeightOf(id)
+	if firstSibling != chain.NoBlock {
+		if s.tree.NextSiblingOf(firstSibling) == id && s.inRecent[firstSibling] {
+			// Siblings share a height, so the denormalized height
+			// of the promoted first child equals the newborn's.
+			s.addForkChild(windowBlock{id: firstSibling, height: height})
+		}
+		// The newborn has the largest ID: appending stays sorted.
+		s.forkChildren = append(s.forkChildren, windowBlock{id: id, height: height})
+	}
 	s.published = append(s.published, visible)
-	s.recent = append(s.recent, id)
+	s.inRecent = append(s.inRecent, true)
+	s.recent = append(s.recent, windowBlock{id: id, height: height})
 	// Trim the candidate window: drop blocks too old to ever be
 	// referenced again. Compacting in place (rather than reslicing the
 	// tail) keeps the backing array stable, so the window never forces a
 	// reallocation once it has reached steady-state size.
-	minHeight := s.tree.Height(id) - s.window - 1
+	minHeight := height - s.window - 1
 	trim := 0
-	for trim < len(s.recent) && s.tree.Height(s.recent[trim]) < minHeight {
+	for trim < len(s.recent) && s.recent[trim].height < minHeight {
+		old := s.recent[trim].id
+		s.inRecent[old] = false
+		// Scanning the tiny fork-child set directly is cheaper than
+		// asking the tree whether old is a fork child first.
+		s.removeForkChild(old)
 		trim++
 	}
 	if trim > 0 {
@@ -231,6 +395,78 @@ func (s *simulator) reset(winner chain.BlockID) {
 	s.poolBlocks = s.poolBlocks[:0]
 	s.publishedCount = 0
 	s.honestBranch = s.honestBranch[:0]
+	if len(s.forkChildren) > 0 {
+		s.purgeForkChildren(winner)
+	}
+}
+
+// purgeForkChildren drops candidates a finished race made permanently
+// ineligible. Every future block descends from winner, so a candidate can
+// be discarded for good when the settled chain through winner decides its
+// fate: it is referenced by a block on that chain (always rejected by the
+// already-referenced rule), it is on that chain itself, or its parent is
+// off that chain (never attachable again). Purging here keeps the
+// fork-child set down to genuine open candidates, so eligibleUncles'
+// fast path fires instead of re-rejecting dead candidates every event
+// until the window trims them.
+func (s *simulator) purgeForkChildren(winner chain.BlockID) {
+	t := s.tree
+	winnerHeight := t.HeightOf(winner)
+	// One walk down winner's chain covers every check below; it spans
+	// from the lowest candidate's parent height (clamped to winner) up
+	// to winner.
+	base := winnerHeight
+	for _, cand := range s.forkChildren {
+		if cand.height-1 < base {
+			base = cand.height - 1
+		}
+	}
+	if base < 0 {
+		base = 0
+	}
+	span := winnerHeight - base + 1
+	if cap(s.purgeScratch) < span {
+		s.purgeScratch = make([]chain.BlockID, span)
+	}
+	onChain := s.purgeScratch[:span]
+	for i := range onChain {
+		onChain[i] = chain.NoBlock
+	}
+	cursor := winner
+	for {
+		up, h := t.ParentAndHeight(cursor)
+		onChain[h-base] = cursor
+		if h <= base || cursor == t.Genesis() {
+			break
+		}
+		cursor = up
+	}
+	isOn := func(b chain.BlockID, h int) bool {
+		return h >= base && h <= winnerHeight && onChain[h-base] == b
+	}
+
+	kept := s.forkChildren[:0]
+	for _, cand := range s.forkChildren {
+		c := cand.id
+		referencer := t.ReferencedBy(c)
+		remove := false
+		switch {
+		case referencer != chain.NoBlock && isOn(referencer, t.HeightOf(referencer)):
+			remove = true // referenced on the consensus chain
+		case isOn(c, cand.height):
+			remove = true // on the consensus chain itself
+		case !isOn(t.ParentOf(c), cand.height-1):
+			remove = true // parent off every future chain
+		}
+		if remove {
+			if referencer != chain.NoBlock {
+				s.referencedInWindow--
+			}
+			continue
+		}
+		kept = append(kept, cand)
+	}
+	s.forkChildren = kept
 }
 
 // eligibleUncles returns the uncle references a block mined on parent may
@@ -244,20 +480,53 @@ func (s *simulator) reset(winner chain.BlockID) {
 // only valid until the next eligibleUncles call. Callers hand it straight to
 // the tree, which copies it.
 func (s *simulator) eligibleUncles(parent chain.BlockID, poolView bool) []chain.BlockID {
-	newHeight := s.tree.Height(parent) + 1
+	// Fast path: an eligible uncle is off the new block's chain while
+	// its parent is on it, so its parent has a second child — only the
+	// incrementally maintained fork-child set needs scanning, and it is
+	// empty in long honest stretches.
+	if len(s.forkChildren) == 0 {
+		return nil
+	}
+	tree := s.tree
+	newHeight := tree.HeightOf(parent) + 1
 	lowest := newHeight - s.window
 	if lowest < 1 {
 		lowest = 1
 	}
-	if len(s.recent) == 0 {
+
+	// Cheap per-candidate filters first (height window, visibility); the
+	// chain walk below is only paid when something survives them, and
+	// only down to the lowest surviving height.
+	cands := s.candScratch[:0]
+	minH := newHeight
+	for _, cand := range s.forkChildren {
+		if cand.height < lowest || cand.height >= newHeight {
+			continue
+		}
+		if !s.published[cand.id] && !poolView {
+			continue // invisible to honest miners
+		}
+		if cand.height < minH {
+			minH = cand.height
+		}
+		cands = append(cands, cand)
+	}
+	s.candScratch = cands
+	if len(cands) == 0 {
 		return nil
 	}
+	// Only a referenced-somewhere candidate can be rejected by the
+	// already-referenced rule; while the window holds none, the walk
+	// skips gathering ancestor references.
+	needRefs := s.referencedInWindow > 0
 
-	// Map each window height to the new block's chain ancestor, and
-	// collect uncles already referenced by those ancestors. base is the
-	// deepest height mapped (the parent of the lowest referenceable
-	// uncle); chainScratch[h-base] holds the ancestor at height h.
-	base := lowest - 1
+	// Map each height from the lowest surviving candidate up to the new
+	// block's to its chain ancestor, and collect uncles those ancestors
+	// already reference. base is the deepest height mapped (the parent
+	// height of the lowest candidate); chainScratch[h-base] holds the
+	// ancestor at height h. Ancestors below base only reference uncles
+	// deeper than any candidate, so the shortened walk loses nothing.
+	base := minH - 1
 	span := newHeight - base
 	if cap(s.chainScratch) < span {
 		s.chainScratch = make([]chain.BlockID, span)
@@ -268,36 +537,42 @@ func (s *simulator) eligibleUncles(parent chain.BlockID, poolView bool) []chain.
 	}
 	referenced := s.refScratch[:0]
 	cursor := parent
-	for {
-		b := s.tree.Block(cursor)
-		chainAt[b.Height-base] = cursor
-		referenced = append(referenced, b.Uncles...)
-		if b.Height <= base || cursor == s.tree.Genesis() {
-			break
+	if needRefs {
+		for {
+			up, h, uncles := tree.BlockInfo(cursor)
+			chainAt[h-base] = cursor
+			referenced = append(referenced, uncles...)
+			if h <= base || cursor == tree.Genesis() {
+				break
+			}
+			cursor = up
 		}
-		cursor = b.Parent
+	} else {
+		for {
+			up, h := tree.ParentAndHeight(cursor)
+			chainAt[h-base] = cursor
+			if h <= base || cursor == tree.Genesis() {
+				break
+			}
+			cursor = up
+		}
 	}
 	s.refScratch = referenced
 
+	// Full eligibility on the survivors. cands is sorted by ID, i.e.
+	// creation order — the order the candidate window used to yield.
 	out := s.uncleScratch[:0]
-	for _, cand := range s.recent {
-		b := s.tree.Block(cand)
-		if b.Height < lowest || b.Height >= newHeight {
-			continue
-		}
-		if !s.published[cand] && !poolView {
-			continue // invisible to honest miners
-		}
-		if chainAt[b.Height-base] == cand {
+	for _, cand := range cands {
+		if chainAt[cand.height-base] == cand.id {
 			continue // on the new block's own chain
 		}
-		if chainAt[b.Height-1-base] != b.Parent {
+		if chainAt[cand.height-1-base] != tree.ParentOf(cand.id) {
 			continue // not attached to the new block's chain
 		}
-		if containsBlock(referenced, cand) {
+		if containsBlock(referenced, cand.id) {
 			continue
 		}
-		out = append(out, cand)
+		out = append(out, cand.id)
 	}
 	s.uncleScratch = out
 	if limit := s.cfg.MaxUnclesPerBlock; limit > 0 && len(out) > limit {
@@ -405,7 +680,7 @@ func (s *simulator) honestEvent(miner chain.MinerID) error {
 // settlement (the chain is settled at the last consensus base).
 func (s *simulator) run() error {
 	for i := 0; i < s.cfg.Blocks; i++ {
-		s.occupancy[s.state()]++
+		s.recordState()
 		miner := s.cfg.Population.Sample(s.random)
 		var err error
 		if miner.Selfish {

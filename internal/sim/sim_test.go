@@ -224,8 +224,8 @@ func TestEqualPopulationMatchesTwoAgent(t *testing.T) {
 	}
 	// Individual selfish miners split the pool's revenue; spot-check
 	// that rewards were attributed to many distinct miners.
-	if len(many.PerMiner) < 500 {
-		t.Errorf("only %d miners earned rewards; expected most of 1000", len(many.PerMiner))
+	if len(many.PerMiner()) < 500 {
+		t.Errorf("only %d miners earned rewards; expected most of 1000", len(many.PerMiner()))
 	}
 }
 
@@ -275,6 +275,43 @@ func TestMaxUnclesPerBlockLimit(t *testing.T) {
 	})
 	if r.UncleCount == 0 {
 		t.Error("expected uncles")
+	}
+}
+
+func TestOccupancyOverflowBeyondDenseGrid(t *testing.T) {
+	// At alpha = 0.95 the pool's lead grows past the dense occupancy
+	// grid, exercising the rare-overflow map. Every event must still be
+	// counted exactly once.
+	r := run(t, Config{Population: twoAgent(t, 0.95), Gamma: 0.5, Blocks: 2000, Seed: 41})
+	var total int64
+	deep := false
+	for state, n := range r.Occupancy {
+		total += n
+		if state.S >= 64 {
+			deep = true
+		}
+	}
+	if total != int64(r.Blocks) {
+		t.Errorf("occupancy counts sum to %d, want %d", total, r.Blocks)
+	}
+	if !deep {
+		t.Error("expected states beyond the dense grid at alpha=0.95")
+	}
+}
+
+func TestResultPerMinerViewMatchesDense(t *testing.T) {
+	r := run(t, Config{Population: twoAgent(t, 0.35), Gamma: 0.5, Blocks: 20000, Seed: 43})
+	view := r.PerMiner()
+	if len(view) == 0 {
+		t.Fatal("no miners in map view")
+	}
+	for id, reward := range view {
+		if got := r.MinerReward(id); got != reward {
+			t.Errorf("miner %d: dense %v, map view %v", id, got, reward)
+		}
+	}
+	if got := r.MinerReward(-1); got.Total() != 0 {
+		t.Errorf("negative ID returned %v", got)
 	}
 }
 

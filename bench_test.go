@@ -185,6 +185,47 @@ func BenchmarkSimulator100kBlocks1000Miners(b *testing.B) {
 	b.ReportMetric(100000, "blocks/op")
 }
 
+func BenchmarkSimulator100kBlocks2Pools(b *testing.B) {
+	// The K-pool race: two Algorithm-1 pools competing over the same
+	// chain. Per-event cost is O(1) in the population and O(K) in the
+	// pool count, so this must track within a small factor of the
+	// single-pool 100k benchmarks, and the steady state stays
+	// allocation-free.
+	b.ReportAllocs()
+	pop, err := mining.MultiAgent(0.25, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := sim.Run(sim.Config{
+			Population: pop,
+			Gamma:      0.5,
+			Blocks:     100000,
+			Seed:       uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.RegularCount == 0 {
+			b.Fatal("no settled blocks")
+		}
+	}
+	b.ReportMetric(100000, "blocks/op")
+}
+
+func BenchmarkPoolWars(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.PoolWars(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(result.Rows) != 12 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
 func BenchmarkSimulator1000Miners(b *testing.B) {
 	b.ReportAllocs()
 	pop, err := mining.Equal(1000, 350)

@@ -92,6 +92,27 @@ func benchmarks() []benchmark {
 				}
 			}
 		}},
+		{name: "sim-100k-blocks-2pools", run: func(b *testing.B, parallel int) {
+			// Two Algorithm-1 pools racing each other: the K-pool
+			// engine's tracking workload. Per-event cost is O(K) on
+			// top of the O(1) population sampling, so it must stay
+			// within a small factor of the single-pool benchmarks.
+			pop, err := mining.MultiAgent(0.25, 0.2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     100000,
+					Seed:       uint64(i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{name: "runmany-10x20k", run: func(b *testing.B, parallel int) {
 			pop, err := mining.TwoAgent(0.35)
 			if err != nil {
@@ -133,6 +154,15 @@ func benchmarks() []benchmark {
 			opts.Parallelism = parallel
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.Strategies(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "poolwars-quick", run: func(b *testing.B, parallel int) {
+			opts := experiments.Quick()
+			opts.Parallelism = parallel
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.PoolWars(opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,7 +6,7 @@
 //	ethselfish [flags] <experiment>
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, table2, secvi,
-// diffablation, all.
+// diffablation, strategies, poolwars, all.
 //
 // Flags:
 //
@@ -85,7 +85,7 @@ func run(args []string, w io.Writer) error {
 func experimentNames() []string {
 	return []string{
 		"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "table2",
-		"secvi", "diffablation", "strategies",
+		"secvi", "diffablation", "strategies", "poolwars",
 	}
 }
 
@@ -146,6 +146,12 @@ func build(name string, opts experiments.Options) (*table.Table, error) {
 		return result.Table(), nil
 	case "strategies":
 		result, err := experiments.Strategies(opts)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "poolwars":
+		result, err := experiments.PoolWars(opts)
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,20 @@
 // lives in cmd/ethselfish; see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for paper-vs-measured results.
 //
+// # K-pool races
+//
+// The simulator generalizes the paper's two-party race to K competing
+// pools. Miners carry a pool label (mining.PoolID, 0 = honest); each pool
+// mines a private branch over the shared block tree, runs its own
+// sim.Strategy consulted only on its own race frame (Ls, Lh, published,
+// measured from the pool's fork point), and honest miners follow the
+// longest public branch, splitting the tie-break probability gamma across
+// whichever published pool branches tie for the lead. Rewards settle
+// per pool (sim.Result.ByPool); experiments.PoolWars sweeps an
+// alpha1 x alpha2 grid of two Algorithm-1 pools plus heterogeneous
+// attacker-vs-honest-control rows. The paper's setting is the K = 1
+// special case and is bit-identical to the pre-generalization engine.
+//
 // # Performance
 //
 // Paper-scale regeneration is embarrassingly parallel (10 independent runs
@@ -34,17 +48,19 @@
 // are collected in run order, so parallel output is bit-identical to
 // sequential.
 //
-// The simulator's per-event cost is O(1) in the population size: miner
-// draws go through a precomputed Walker alias table (one Uint64 plus one
-// Float64 per event, whatever the number of miners), state occupancy is a
-// dense (Ls, Lh) grid increment with a rare-overflow map, uncle candidates
-// are tracked as an incrementally maintained fork-child set rather than
-// rescanned, and reward settlement tallies into dense per-miner slices
-// indexed by MinerID with the schedule's Ku/Kn pre-expanded into lookup
-// tables. The hot path is also allocation-free in steady state — including
-// across run restarts: each worker reuses one simulator (block tree, uncle
-// arena, candidate window, occupancy grid, scratch buffers) for every run
-// it executes, resetting rather than re-allocating. cmd/ethbench emits
-// machine-readable benchmark results and a -baseline compare mode for
-// tracking all of these properties.
+// The simulator's per-event cost is O(1) in the population size (and O(K)
+// in the pool count): miner draws go through a precomputed Walker alias
+// table (one Uint64 plus one Float64 per event, whatever the number of
+// miners) with dense pool-label lookups, state occupancy is a dense
+// (Ls, Lh) grid increment per pool with a rare-overflow map, uncle
+// candidates are tracked as one incrementally maintained fork-child set
+// (visibility filtered per viewing pool) rather than rescanned, and reward
+// settlement tallies into dense per-miner slices indexed by MinerID with
+// the schedule's Ku/Kn pre-expanded into lookup tables. The hot path is
+// also allocation-free in steady state — including across run restarts:
+// each worker reuses one simulator (block tree, uncle arena, candidate
+// window, per-pool branches and occupancy grids, scratch buffers) for
+// every run it executes, resetting rather than re-allocating.
+// cmd/ethbench emits machine-readable benchmark results and a -baseline
+// compare mode for tracking all of these properties.
 package ethselfish

@@ -1,6 +1,8 @@
 // pools2018 asks the question Fig. 6 of the paper raises: given the real
 // September-2018 Ethereum pool landscape, which pools were large enough to
-// profit from selfish mining, and by how much?
+// profit from selfish mining, and by how much? It then goes one step past
+// the paper with the K-pool race engine: what if the top TWO pools had
+// both gone selfish at the same time?
 //
 // Run with:
 //
@@ -12,22 +14,10 @@ import (
 	"log"
 
 	"github.com/ethselfish/ethselfish"
+	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/sim"
 )
-
-// pool is one entry of the Fig. 6 snapshot.
-type pool struct {
-	name  string
-	share float64
-}
-
-// fig6Pools is the etherscan snapshot the paper reproduces in Fig. 6.
-var fig6Pools = []pool{
-	{"Ethermine", 0.2634},
-	{"SparkPool", 0.2246},
-	{"F2Pool", 0.1337},
-	{"Nanopool", 0.1033},
-	{"MiningPoolHub", 0.0878},
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -51,8 +41,13 @@ func run() error {
 	fmt.Printf("%-15s %7s %12s %12s %14s\n",
 		"pool", "share", "honest earns", "selfish earns", "gain (EIP100)")
 
-	for _, p := range fig6Pools {
-		analysis, err := ethselfish.Analyze(p.share, gamma)
+	// The Fig. 6 snapshot ships with the mining package as the pool-label
+	// API's reference landscape; the last entry aggregates the honest
+	// remainder.
+	snapshot := mining.Ethereum2018Pools()
+	pools := snapshot[:len(snapshot)-1]
+	for _, p := range pools {
+		analysis, err := ethselfish.Analyze(p.Share, gamma)
 		if err != nil {
 			return err
 		}
@@ -60,12 +55,53 @@ func run() error {
 		selfish1 := rev.Pool(ethselfish.Scenario1)
 		selfish2 := rev.Pool(ethselfish.Scenario2)
 		fmt.Printf("%-15s %6.2f%% %12.4f %12.4f %13.4f%%\n",
-			p.name, p.share*100, p.share, selfish1, (selfish2/p.share-1)*100)
+			p.Name, p.Share*100, p.Share, selfish1, (selfish2/p.Share-1)*100)
 	}
 
 	fmt.Println("\nunder pre-EIP100 difficulty every one of these pools cleared the")
 	fmt.Printf("%.3f threshold; EIP100 raises the bar to %.3f, which only the top\n",
 		threshold1, threshold2)
 	fmt.Println("pools approach — the emendation the paper's conclusion endorses.")
+
+	// Beyond the paper: Ethermine and SparkPool defect simultaneously.
+	// The closed forms stop at one attacker; the simulator races both
+	// pools' private branches (each running Algorithm 1) over one tree.
+	pop, err := mining.MultiAgent(pools[0].Share, pools[1].Share)
+	if err != nil {
+		return err
+	}
+	series, err := sim.RunMany(sim.Config{
+		Population: pop,
+		Gamma:      gamma,
+		Blocks:     100000,
+		Seed:       2018,
+	}, 10)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nif %s and %s both ran Algorithm 1 (simulated, 10x100k blocks):\n\n",
+		pools[0].Name, pools[1].Name)
+	fmt.Printf("%-15s %7s %14s %14s\n", "pool", "share", "earns (pre-EIP)", "earns (EIP100)")
+	for i, p := range pools[:2] {
+		id := mining.PoolID(i + 1)
+		fmt.Printf("%-15s %6.2f%% %14.4f %14.4f\n", p.Name, p.Share*100,
+			series.AbsoluteOf(id, core.Scenario1).Mean(),
+			series.AbsoluteOf(id, core.Scenario2).Mean())
+	}
+	fmt.Printf("%-15s %6.2f%% %14.4f %14.4f\n", "everyone else",
+		(1-pop.Alpha())*100,
+		series.AbsoluteOf(mining.HonestPool, core.Scenario1).Mean(),
+		series.AbsoluteOf(mining.HonestPool, core.Scenario2).Mean())
+
+	var stale, settled float64
+	for i := range series.Runs {
+		r := &series.Runs[i]
+		stale += float64(r.StaleCount)
+		settled += float64(r.RegularCount + r.UncleCount + r.StaleCount)
+	}
+	fmt.Printf("\nracing each other, the two pools stale %.1f%% of all blocks: under\n", 100*stale/settled)
+	fmt.Println("uncle-blind difficulty the waste lowers the bar and pays both pools;")
+	fmt.Println("under EIP100 it is priced in, and the dual attack undercuts itself.")
 	return nil
 }

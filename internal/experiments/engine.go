@@ -31,9 +31,12 @@ func grid[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // simJob describes the simulation work at one grid point: the pool's hash
 // power and a builder for the rest of the configuration. The builder must
 // be safe to call concurrently with other builders (it normally just fills
-// in literals).
+// in literals). A nil pop means the classic two-agent population at alpha;
+// multi-pool drivers supply their own population and use alpha purely as
+// the point's seed key.
 type simJob struct {
 	alpha float64
+	pop   *mining.Population
 	build func(pop *mining.Population) sim.Config
 }
 
@@ -50,9 +53,13 @@ func pointSeed(opts Options, alpha float64) uint64 {
 func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 	configs := make([]sim.Config, len(jobs))
 	for j, job := range jobs {
-		pop, err := mining.TwoAgent(job.alpha)
-		if err != nil {
-			return nil, err
+		pop := job.pop
+		if pop == nil {
+			var err error
+			pop, err = mining.TwoAgent(job.alpha)
+			if err != nil {
+				return nil, err
+			}
 		}
 		cfg := job.build(pop)
 		cfg.Population = pop

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -258,5 +259,56 @@ func TestStrategiesComparison(t *testing.T) {
 	}
 	if !strings.Contains(result.Table().String(), "trail-stubborn") {
 		t.Error("table missing trail-stubborn column")
+	}
+}
+
+func TestPoolWars(t *testing.T) {
+	result, err := PoolWars(Options{Runs: 2, Blocks: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homo, hetero := result.Homogeneous(), result.Heterogeneous()
+	if len(homo) != 9 || len(hetero) != 3 {
+		t.Fatalf("shape = %d homogeneous + %d heterogeneous rows", len(homo), len(hetero))
+	}
+	for _, row := range result.Rows {
+		if row.Pool1 <= 0 || row.Pool2 <= 0 || row.Honest <= 0 {
+			t.Errorf("%.2fx%.2f (%s/%s): degenerate revenues %v/%v/%v",
+				row.Alpha1, row.Alpha2, row.Strategy1, row.Strategy2,
+				row.Pool1, row.Pool2, row.Honest)
+		}
+	}
+	// Symmetric homogeneous points must treat the pools symmetrically.
+	// The tolerance is wide: at 2 runs x 40k blocks the per-pool noise
+	// is a few percent (at 20 x 100k the gap closes to under 1e-3).
+	for _, row := range homo {
+		if row.Alpha1 == row.Alpha2 && math.Abs(row.Pool1-row.Pool2) > 0.05 {
+			t.Errorf("symmetric point %.2f: pool revenues %v vs %v",
+				row.Alpha1, row.Pool1, row.Pool2)
+		}
+	}
+	// Two large Algorithm-1 pools waste far more blocks than small ones.
+	byKey := make(map[string]PoolWarsRow)
+	for _, row := range homo {
+		byKey[fmt.Sprintf("%.2f-%.2f", row.Alpha1, row.Alpha2)] = row
+	}
+	if small, big := byKey["0.10-0.10"], byKey["0.30-0.30"]; big.StaleFraction <= small.StaleFraction {
+		t.Errorf("stale fraction %v at 0.30x0.30 vs %v at 0.10x0.10; rivalry should scale",
+			big.StaleFraction, small.StaleFraction)
+	}
+	// In the heterogeneous rows the control pool mines honestly: its
+	// per-power revenue rate matches the honest crowd's.
+	for _, row := range hetero {
+		if row.Strategy2 != "honest" {
+			t.Fatalf("hetero row strategy2 = %q", row.Strategy2)
+		}
+		crowdPower := 1 - row.Alpha1 - row.Alpha2
+		if math.Abs(row.Pool2/row.Alpha2-row.Honest/crowdPower) > 0.08 {
+			t.Errorf("alpha1=%.2f: control rate %v differs from crowd rate %v",
+				row.Alpha1, row.Pool2/row.Alpha2, row.Honest/crowdPower)
+		}
+	}
+	if !strings.Contains(result.Table().String(), "algorithm1/honest") {
+		t.Error("table missing heterogeneous rows")
 	}
 }

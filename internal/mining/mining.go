@@ -5,6 +5,10 @@
 // rate f*m_i. After rescaling time by the total rate f, the winner of each
 // block event is simply a categorical draw weighted by hash power, and
 // inter-arrival times are Exp(1).
+//
+// Miners carry a pool label: pool 0 is the honest crowd, pools 1..K are
+// colluding groups that may each run their own (selfish) strategy. The
+// paper's single-pool setting is the K = 1 special case.
 package mining
 
 import (
@@ -31,11 +35,24 @@ var (
 	// conventionally use 1..n); a huge sparse ID would silently turn
 	// O(n) construction into an O(maxID) allocation.
 	ErrBadID = errors.New("mining: miner ID negative or too sparse for the population")
+
+	// ErrBadPool is returned when a miner's pool label is negative or
+	// exceeds the number of miners (pool labels index dense per-pool
+	// structures; a population cannot have more non-empty pools than
+	// miners).
+	ErrBadPool = errors.New("mining: pool label negative or too large for the population")
 )
 
 // maxIDSlack bounds how sparse miner IDs may be: the largest ID must stay
 // below maxIDSlack*len(miners) + maxIDSlack.
 const maxIDSlack = 64
+
+// PoolID labels a group of colluding miners. Pool 0 is the honest crowd;
+// pools 1..K are the competing (potentially selfish) pools.
+type PoolID int
+
+// HonestPool is the pool label of protocol-following miners.
+const HonestPool PoolID = 0
 
 // Miner describes one participant.
 type Miner struct {
@@ -46,15 +63,21 @@ type Miner struct {
 	// the population normalizes them.
 	Power float64
 
-	// Selfish marks members of the colluding pool.
-	Selfish bool
+	// Pool is the miner's pool label: 0 (HonestPool) for the honest
+	// crowd, 1..K for members of a colluding pool.
+	Pool PoolID
 }
 
+// Selfish reports whether the miner belongs to any colluding pool.
+func (m Miner) Selfish() bool { return m.Pool != HonestPool }
+
 // Population is a fixed set of miners with normalized hash powers. All
-// per-draw and per-query structures (the alias table, the selfish-ID index)
-// are precomputed at construction, so sampling and pool-membership checks
-// cost O(1) regardless of population size. A Population is immutable and
-// safe for concurrent use (each Source must still be goroutine-local).
+// per-draw and per-query structures (the population alias table, the dense
+// pool index, per-pool power sums, per-pool member lists and alias tables)
+// are precomputed at construction, so sampling, pool lookups, and
+// pool-conditional sampling all cost O(1) regardless of population size. A
+// Population is immutable and safe for concurrent use (each Source must
+// still be goroutine-local).
 type Population struct {
 	miners  []Miner
 	weights []float64
@@ -64,20 +87,36 @@ type Population struct {
 	// Float64 per draw, independent of the number of miners.
 	alias *rng.AliasTable
 
-	// selfishByID indexes pool membership by MinerID, replacing the
-	// per-run map the simulator used to rebuild from Miners().
-	selfishByID []bool
+	// poolByID indexes the pool label by MinerID (dense; unknown IDs are
+	// honest), replacing the per-run membership map the simulator used to
+	// rebuild from Miners().
+	poolByID []PoolID
+
+	// poolPower[p] is the total normalized hash power of pool p; index 0
+	// is the honest crowd.
+	poolPower []float64
+
+	// poolMembers[p] lists the miner indices of pool p in input order —
+	// the dense member index backing PoolMiners and the per-pool alias
+	// tables.
+	poolMembers [][]int32
+
+	// poolAlias[p] is the alias table over pool p's member weights (nil
+	// for empty pools), giving O(1) pool-conditional draws.
+	poolAlias []*rng.AliasTable
 }
 
 // NewPopulation validates and normalizes the miner set. Miner IDs must be
-// unique and non-negative. The fraction of selfish power (alpha) is computed
-// from the normalized weights.
+// unique and non-negative; pool labels must be non-negative and no larger
+// than the miner count. The fraction of selfish power (alpha) is the total
+// normalized power of all pools with label >= 1.
 func NewPopulation(miners []Miner) (*Population, error) {
 	if len(miners) == 0 {
 		return nil, ErrNoMiners
 	}
 	var total float64
 	maxID := chain.MinerID(0)
+	maxPool := HonestPool
 	seen := make(map[chain.MinerID]bool, len(miners))
 	for _, m := range miners {
 		if !(m.Power > 0) || m.Power > 1e18 {
@@ -86,6 +125,10 @@ func NewPopulation(miners []Miner) (*Population, error) {
 		if m.ID < 0 || int(m.ID) > maxIDSlack*(len(miners)+1) {
 			return nil, fmt.Errorf("miner ID %d (population of %d): %w", m.ID, len(miners), ErrBadID)
 		}
+		if m.Pool < 0 || int(m.Pool) > len(miners) {
+			return nil, fmt.Errorf("miner %d pool %d (population of %d): %w",
+				m.ID, m.Pool, len(miners), ErrBadPool)
+		}
 		if seen[m.ID] {
 			return nil, fmt.Errorf("mining: duplicate miner ID %d", m.ID)
 		}
@@ -93,26 +136,45 @@ func NewPopulation(miners []Miner) (*Population, error) {
 		if m.ID > maxID {
 			maxID = m.ID
 		}
+		if m.Pool > maxPool {
+			maxPool = m.Pool
+		}
 		total += m.Power
 	}
 	p := &Population{
 		miners:      append([]Miner(nil), miners...),
 		weights:     make([]float64, len(miners)),
-		selfishByID: make([]bool, maxID+1),
+		poolByID:    make([]PoolID, maxID+1),
+		poolPower:   make([]float64, maxPool+1),
+		poolMembers: make([][]int32, maxPool+1),
 	}
 	for i, m := range miners {
 		p.weights[i] = m.Power / total
-		if m.Selfish {
+		if m.Pool != HonestPool {
 			p.alpha += p.weights[i]
-			p.selfishByID[m.ID] = true
 		}
+		p.poolByID[m.ID] = m.Pool
+		p.poolPower[m.Pool] += p.weights[i]
+		p.poolMembers[m.Pool] = append(p.poolMembers[m.Pool], int32(i))
 	}
 	p.alias = rng.NewAliasTable(p.weights)
+	p.poolAlias = make([]*rng.AliasTable, maxPool+1)
+	memberWeights := make([]float64, 0, len(miners))
+	for pool, members := range p.poolMembers {
+		if len(members) == 0 {
+			continue
+		}
+		memberWeights = memberWeights[:0]
+		for _, i := range members {
+			memberWeights = append(memberWeights, p.weights[i])
+		}
+		p.poolAlias[pool] = rng.NewAliasTable(memberWeights)
+	}
 	return p, nil
 }
 
 // Equal builds the paper's simulation population: n miners with identical
-// block-generation rates, the first selfishCount of them forming the
+// block-generation rates, the first selfishCount of them forming one
 // selfish pool (Sec. V: n = 1000, selfishCount <= 450). Miner IDs are
 // 1..n; ID 0 is reserved for the genesis block.
 func Equal(n, selfishCount int) (*Population, error) {
@@ -122,12 +184,44 @@ func Equal(n, selfishCount int) (*Population, error) {
 	if selfishCount < 0 || selfishCount > n {
 		return nil, fmt.Errorf("mining: selfish count %d out of [0, %d]", selfishCount, n)
 	}
+	return EqualPools(n, selfishCount)
+}
+
+// EqualPools builds n equal-rate miners partitioned into len(poolSizes)
+// colluding pools: the first poolSizes[0] miners form pool 1, the next
+// poolSizes[1] form pool 2, and so on; the remainder is honest. Miner IDs
+// are 1..n.
+func EqualPools(n int, poolSizes ...int) (*Population, error) {
+	if n <= 0 {
+		return nil, ErrNoMiners
+	}
+	assigned := 0
+	for p, size := range poolSizes {
+		if size < 0 {
+			return nil, fmt.Errorf("mining: pool %d size %d negative: %w", p+1, size, ErrBadPool)
+		}
+		assigned += size
+	}
+	if assigned > n {
+		return nil, fmt.Errorf("mining: pool sizes total %d exceed population %d: %w",
+			assigned, n, ErrBadPool)
+	}
 	miners := make([]Miner, n)
+	pool, used := PoolID(1), 0
 	for i := range miners {
+		for int(pool) <= len(poolSizes) && used == poolSizes[pool-1] {
+			pool++
+			used = 0
+		}
+		label := HonestPool
+		if int(pool) <= len(poolSizes) {
+			label = pool
+			used++
+		}
 		miners[i] = Miner{
-			ID:      chain.MinerID(i + 1),
-			Power:   1,
-			Selfish: i < selfishCount,
+			ID:    chain.MinerID(i + 1),
+			Power: 1,
+			Pool:  label,
 		}
 	}
 	return NewPopulation(miners)
@@ -140,17 +234,78 @@ func TwoAgent(alpha float64) (*Population, error) {
 	if !(alpha > 0 && alpha < 1) {
 		return nil, fmt.Errorf("mining: alpha %v out of (0, 1)", alpha)
 	}
-	return NewPopulation([]Miner{
-		{ID: 1, Power: alpha, Selfish: true},
-		{ID: 2, Power: 1 - alpha},
-	})
+	return MultiAgent(alpha)
+}
+
+// MultiAgent builds the aggregate (K+1)-miner population for K competing
+// pools: pool i (1-based) is one agent with power alphas[i-1], and the
+// honest crowd is one agent with the remaining power. Each alpha must be
+// positive and the total must stay below 1. Miner IDs are 1..K for the
+// pools and K+1 for the honest aggregate.
+func MultiAgent(alphas ...float64) (*Population, error) {
+	if len(alphas) == 0 {
+		return nil, ErrNoMiners
+	}
+	var total float64
+	miners := make([]Miner, 0, len(alphas)+1)
+	for i, alpha := range alphas {
+		if !(alpha > 0) {
+			return nil, fmt.Errorf("mining: pool %d alpha %v not positive: %w", i+1, alpha, ErrBadPower)
+		}
+		total += alpha
+		miners = append(miners, Miner{
+			ID:    chain.MinerID(i + 1),
+			Power: alpha,
+			Pool:  PoolID(i + 1),
+		})
+	}
+	if !(total < 1) {
+		return nil, fmt.Errorf("mining: pool alphas total %v must stay below 1: %w", total, ErrBadPower)
+	}
+	miners = append(miners, Miner{ID: chain.MinerID(len(alphas) + 1), Power: 1 - total})
+	return NewPopulation(miners)
 }
 
 // Len returns the number of miners.
 func (p *Population) Len() int { return len(p.miners) }
 
-// Alpha returns the total selfish hash-power fraction.
+// Alpha returns the total selfish hash-power fraction (all pools >= 1).
 func (p *Population) Alpha() float64 { return p.alpha }
+
+// NumPools returns the largest pool label in the population — the K of the
+// K-pool race. Zero means everyone is honest.
+func (p *Population) NumPools() int { return len(p.poolPower) - 1 }
+
+// PoolPower returns pool's total normalized hash power (pool 0: the honest
+// crowd). Labels beyond the population's largest have zero power.
+func (p *Population) PoolPower(pool PoolID) float64 {
+	if pool < 0 || int(pool) >= len(p.poolPower) {
+		return 0
+	}
+	return p.poolPower[pool]
+}
+
+// PoolOf returns the pool label of the miner with the given ID. Unknown IDs
+// (including the reserved genesis ID) are honest. It is an O(1) index
+// lookup, safe for per-block use.
+func (p *Population) PoolOf(id chain.MinerID) PoolID {
+	if id < 0 || int(id) >= len(p.poolByID) {
+		return HonestPool
+	}
+	return p.poolByID[id]
+}
+
+// PoolMiners returns pool's members with normalized powers, in input order.
+func (p *Population) PoolMiners(pool PoolID) []Miner {
+	if pool < 0 || int(pool) >= len(p.poolMembers) {
+		return nil
+	}
+	out := make([]Miner, 0, len(p.poolMembers[pool]))
+	for _, i := range p.poolMembers[pool] {
+		out = append(out, p.Miner(int(i)))
+	}
+	return out
+}
 
 // Miner returns the i-th miner (0-based) with its normalized power.
 func (p *Population) Miner(i int) Miner {
@@ -168,11 +323,10 @@ func (p *Population) Miners() []Miner {
 	return out
 }
 
-// IsSelfish reports whether the miner with the given ID belongs to the
-// colluding pool. Unknown IDs are honest. It is an O(1) index lookup, safe
-// for per-block use.
+// IsSelfish reports whether the miner with the given ID belongs to any
+// colluding pool. Unknown IDs are honest.
 func (p *Population) IsSelfish(id chain.MinerID) bool {
-	return int(id) < len(p.selfishByID) && p.selfishByID[id]
+	return p.PoolOf(id) != HonestPool
 }
 
 // Sample draws the producer of the next block, weighted by hash power. The
@@ -180,6 +334,18 @@ func (p *Population) IsSelfish(id chain.MinerID) bool {
 // population size, consuming exactly two generator outputs.
 func (p *Population) Sample(r *rng.Source) Miner {
 	return p.miners[p.alias.Draw(r)]
+}
+
+// SampleMember draws a member of the given pool, weighted by hash power
+// within the pool — the per-pool alias path for pool-conditional sampling
+// (e.g. attributing a pool's block to one of its members). It consumes
+// exactly two generator outputs and panics if the pool has no members,
+// which indicates a configuration error.
+func (p *Population) SampleMember(pool PoolID, r *rng.Source) Miner {
+	if pool < 0 || int(pool) >= len(p.poolAlias) || p.poolAlias[pool] == nil {
+		panic(fmt.Sprintf("mining: SampleMember of empty pool %d", pool))
+	}
+	return p.miners[p.poolMembers[pool][p.poolAlias[pool].Draw(r)]]
 }
 
 // NextEvent draws the next block event under a Poisson race at the given

@@ -3,6 +3,7 @@ package mining
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/ethselfish/ethselfish/internal/chain"
@@ -11,7 +12,7 @@ import (
 
 func TestNewPopulationNormalizes(t *testing.T) {
 	p, err := NewPopulation([]Miner{
-		{ID: 1, Power: 30, Selfish: true},
+		{ID: 1, Power: 30, Pool: 1},
 		{ID: 2, Power: 70},
 	})
 	if err != nil {
@@ -65,7 +66,7 @@ func TestEqualPopulation(t *testing.T) {
 		if m.ID != chain.MinerID(i+1) {
 			t.Fatalf("miner %d has ID %d, want %d", i, m.ID, i+1)
 		}
-		if got := m.Selfish; got != (i < 450) {
+		if got := m.Selfish(); got != (i < 450) {
 			t.Fatalf("miner %d selfish = %v", i, got)
 		}
 	}
@@ -100,7 +101,7 @@ func TestTwoAgent(t *testing.T) {
 
 func TestSampleFrequencies(t *testing.T) {
 	p, err := NewPopulation([]Miner{
-		{ID: 1, Power: 1, Selfish: true},
+		{ID: 1, Power: 1, Pool: 1},
 		{ID: 2, Power: 3},
 	})
 	if err != nil {
@@ -110,7 +111,7 @@ func TestSampleFrequencies(t *testing.T) {
 	const n = 100000
 	selfish := 0
 	for i := 0; i < n; i++ {
-		if p.Sample(r).Selfish {
+		if p.Sample(r).Selfish() {
 			selfish++
 		}
 	}
@@ -123,16 +124,16 @@ func TestSampleFrequencies(t *testing.T) {
 
 func TestIsSelfishMatchesMinerFlags(t *testing.T) {
 	p, err := NewPopulation([]Miner{
-		{ID: 3, Power: 1, Selfish: true},
+		{ID: 3, Power: 1, Pool: 1},
 		{ID: 7, Power: 2},
-		{ID: 1, Power: 1, Selfish: true},
+		{ID: 1, Power: 1, Pool: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, m := range p.Miners() {
-		if got := p.IsSelfish(m.ID); got != m.Selfish {
-			t.Errorf("IsSelfish(%d) = %v, want %v", m.ID, got, m.Selfish)
+		if got := p.IsSelfish(m.ID); got != m.Selfish() {
+			t.Errorf("IsSelfish(%d) = %v, want %v", m.ID, got, m.Selfish())
 		}
 	}
 	// Unknown and out-of-range IDs are honest.
@@ -166,7 +167,7 @@ func TestSampleMatchesCategoricalDistribution(t *testing.T) {
 	// linear categorical draw defines; compare per-miner frequencies on
 	// a skewed population.
 	p, err := NewPopulation([]Miner{
-		{ID: 1, Power: 10, Selfish: true},
+		{ID: 1, Power: 10, Pool: 1},
 		{ID: 2, Power: 1},
 		{ID: 3, Power: 5},
 		{ID: 4, Power: 0.5},
@@ -309,4 +310,149 @@ func TestMinersReturnsCopy(t *testing.T) {
 	if p.Miner(0).Power == 99 {
 		t.Error("Miners exposed internal state")
 	}
+}
+
+func TestPoolIndexesAndPowerSums(t *testing.T) {
+	p, err := NewPopulation([]Miner{
+		{ID: 1, Power: 2, Pool: 1},
+		{ID: 2, Power: 1, Pool: 2},
+		{ID: 3, Power: 3, Pool: 1},
+		{ID: 4, Power: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumPools(); got != 2 {
+		t.Fatalf("NumPools = %d, want 2", got)
+	}
+	if got := p.PoolPower(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PoolPower(1) = %v, want 0.5", got)
+	}
+	if got := p.PoolPower(2); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("PoolPower(2) = %v, want 0.1", got)
+	}
+	if got := p.PoolPower(HonestPool); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("honest PoolPower = %v, want 0.4", got)
+	}
+	if got := p.PoolPower(99); got != 0 {
+		t.Errorf("PoolPower(99) = %v, want 0", got)
+	}
+	if got := p.Alpha(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Alpha = %v, want 0.6", got)
+	}
+	wantPools := map[chain.MinerID]PoolID{1: 1, 2: 2, 3: 1, 4: 0, 0: 0, 42: 0}
+	for id, want := range wantPools {
+		if got := p.PoolOf(id); got != want {
+			t.Errorf("PoolOf(%d) = %d, want %d", id, got, want)
+		}
+	}
+	members := p.PoolMiners(1)
+	if len(members) != 2 || members[0].ID != 1 || members[1].ID != 3 {
+		t.Errorf("PoolMiners(1) = %+v, want miners 1 and 3", members)
+	}
+	if got := p.PoolMiners(7); got != nil {
+		t.Errorf("PoolMiners(7) = %+v, want nil", got)
+	}
+}
+
+func TestNewPopulationRejectsBadPool(t *testing.T) {
+	if _, err := NewPopulation([]Miner{{ID: 1, Power: 1, Pool: -1}}); !errors.Is(err, ErrBadPool) {
+		t.Errorf("negative pool: err = %v, want ErrBadPool", err)
+	}
+	// Pool labels larger than the miner count would blow up the dense
+	// per-pool structures.
+	if _, err := NewPopulation([]Miner{{ID: 1, Power: 1, Pool: 100}}); !errors.Is(err, ErrBadPool) {
+		t.Errorf("sparse pool: err = %v, want ErrBadPool", err)
+	}
+}
+
+func TestMultiAgent(t *testing.T) {
+	p, err := MultiAgent(0.25, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPools() != 2 || p.Len() != 3 {
+		t.Fatalf("NumPools = %d, Len = %d, want 2 pools over 3 agents", p.NumPools(), p.Len())
+	}
+	if got := p.Alpha(); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("Alpha = %v, want 0.45", got)
+	}
+	if got := p.PoolPower(2); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("PoolPower(2) = %v, want 0.2", got)
+	}
+	for _, alphas := range [][]float64{nil, {0}, {-0.1}, {0.6, 0.5}, {1}} {
+		if _, err := MultiAgent(alphas...); err == nil {
+			t.Errorf("MultiAgent(%v) should fail", alphas)
+		}
+	}
+	// The single-pool case is exactly TwoAgent.
+	multi, err := MultiAgent(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := TwoAgent(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(multi.Miners(), two.Miners()) {
+		t.Errorf("MultiAgent(0.3) miners %+v differ from TwoAgent %+v", multi.Miners(), two.Miners())
+	}
+}
+
+func TestEqualPools(t *testing.T) {
+	p, err := EqualPools(10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPools := []PoolID{1, 1, 1, 2, 2, 0, 0, 0, 0, 0}
+	for i, m := range p.Miners() {
+		if m.Pool != wantPools[i] {
+			t.Errorf("miner %d pool = %d, want %d", i, m.Pool, wantPools[i])
+		}
+	}
+	if got := p.PoolPower(2); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("PoolPower(2) = %v, want 0.2", got)
+	}
+	if _, err := EqualPools(5, 3, 3); !errors.Is(err, ErrBadPool) {
+		t.Errorf("oversubscribed pools: err = %v, want ErrBadPool", err)
+	}
+	if _, err := EqualPools(5, -1); !errors.Is(err, ErrBadPool) {
+		t.Errorf("negative pool size: err = %v, want ErrBadPool", err)
+	}
+}
+
+func TestSampleMemberDistribution(t *testing.T) {
+	// The per-pool alias path must reproduce the within-pool weight
+	// distribution.
+	p, err := NewPopulation([]Miner{
+		{ID: 1, Power: 1, Pool: 1},
+		{ID: 2, Power: 3, Pool: 1},
+		{ID: 3, Power: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(321)
+	const n = 100000
+	counts := make(map[chain.MinerID]int)
+	for i := 0; i < n; i++ {
+		m := p.SampleMember(1, r)
+		if m.Pool != 1 {
+			t.Fatalf("SampleMember(1) returned miner %d of pool %d", m.ID, m.Pool)
+		}
+		counts[m.ID]++
+	}
+	for id, want := range map[chain.MinerID]float64{1: 0.25, 2: 0.75} {
+		got := float64(counts[id]) / n
+		sigma := math.Sqrt(want * (1 - want) / n)
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("member %d frequency %v, want %v +/- 5 sigma", id, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleMember of an empty pool did not panic")
+		}
+	}()
+	p.SampleMember(3, r)
 }

@@ -114,11 +114,26 @@ func TestRunnerReuseMatchesFreshRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	twoPools, err := mining.MultiAgent(0.3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threePools, err := mining.EqualPools(100, 25, 20, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
 	configs := []Config{
 		{Population: thousand, Gamma: 0.5, Blocks: 8000, Seed: 1},
 		{Population: two, Gamma: 0.5, Blocks: 3000, Seed: 2},
+		// Multi-pool runs interleave with single-pool ones, so the
+		// reused per-pool branches, occupancy grids, and roots must
+		// all re-shape cleanly between runs.
+		{Population: twoPools, Gamma: 0.5, Blocks: 6000, Seed: 4},
 		{Population: two, Gamma: 0, Blocks: 5000, Seed: 1, MaxUnclesPerBlock: 2},
+		{Population: threePools, Gamma: 0.5, Blocks: 4000, Seed: 5,
+			Strategies: []Strategy{Algorithm1{}, HonestStrategy{}, TrailStubborn{}}},
 		{Population: thousand, Gamma: 1, Blocks: 2000, Seed: 3},
+		{Population: twoPools, Gamma: 1, Blocks: 3000, Seed: 6, MaxUnclesPerBlock: 2},
 		// Repeat the first configuration: the runner's storage has been
 		// through smaller and differently shaped runs in between.
 		{Population: thousand, Gamma: 0.5, Blocks: 8000, Seed: 1},
@@ -135,6 +150,39 @@ func TestRunnerReuseMatchesFreshRuns(t *testing.T) {
 		}
 		if !reflect.DeepEqual(reused, fresh) {
 			t.Errorf("config %d: reused runner result differs from fresh run", i)
+		}
+	}
+}
+
+// TestRunManyParallelDeterminismTwoPools extends the engine contract to
+// the K-pool race: fanned-out multi-pool runs (heterogeneous strategies
+// included) must be run-for-run identical to sequential execution.
+func TestRunManyParallelDeterminismTwoPools(t *testing.T) {
+	pop, err := mining.MultiAgent(0.3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Population: pop,
+		Gamma:      0.5,
+		Blocks:     5000,
+		Seed:       42,
+		Strategies: []Strategy{Algorithm1{}, HonestStrategy{}},
+	}
+
+	cfg.Parallelism = 1
+	sequential, err := RunMany(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	parallel, err := RunMany(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sequential.Runs {
+		if !reflect.DeepEqual(sequential.Runs[i], parallel.Runs[i]) {
+			t.Errorf("run %d: parallel two-pool result differs from sequential", i)
 		}
 	}
 }

@@ -5,22 +5,30 @@ import (
 
 	"github.com/ethselfish/ethselfish/internal/chain"
 	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/parallel"
 	"github.com/ethselfish/ethselfish/internal/stats"
 )
 
 // Result summarizes one simulation run. Counts refer to the settled chain:
-// the race still in flight when the run ends is excluded.
+// races still in flight when the run ends are excluded.
 type Result struct {
-	// Alpha is the population's selfish hash-power fraction.
+	// Alpha is the population's total selfish hash-power fraction (all
+	// pools combined).
 	Alpha float64
 
 	// Blocks is the number of simulated block events.
 	Blocks int
 
-	// Pool and Honest aggregate rewards by camp.
+	// Pool and Honest aggregate rewards by camp: Pool sums every
+	// colluding pool, Honest is the protocol-following crowd.
 	Pool   chain.Reward
 	Honest chain.Reward
+
+	// ByPool is the per-pool reward tally, indexed by PoolID (entry 0 is
+	// the honest crowd, so ByPool[0] == Honest and the remaining entries
+	// sum to Pool).
+	ByPool []chain.Reward
 
 	// MinerRewards is the dense per-miner tally, indexed by MinerID
 	// (IDs at or beyond its length earned nothing); MinerSeen marks the
@@ -34,14 +42,21 @@ type Result struct {
 	StaleCount   int
 
 	// PoolUncleDistances and HonestUncleDistances count realized
-	// reference distances by the uncle's camp.
+	// reference distances by the uncle's camp (all pools combined).
 	PoolUncleDistances   stats.Counter
 	HonestUncleDistances stats.Counter
 
-	// Occupancy counts block events by the (Ls, Lh) state observed just
-	// before the event; normalizing estimates the stationary
-	// distribution. It is materialized once per run from the simulator's
-	// dense occupancy grid.
+	// OccupancyByPool counts block events by the (Ls, Lh) race frame
+	// each pool observed just before the event, indexed by PoolID-1;
+	// normalizing estimates the pool's stationary distribution. For a
+	// poolless population it holds one entry pinned to state (0, 0).
+	// It is materialized once per run from the simulator's pool-indexed
+	// dense occupancy grids.
+	OccupancyByPool []map[core.State]int64
+
+	// Occupancy is the first pool's frame occupancy — the paper's
+	// (Ls, Lh) state counts in the single-pool setting. It aliases
+	// OccupancyByPool[0].
 	Occupancy map[core.State]int64
 }
 
@@ -95,13 +110,41 @@ func (r Result) TotalAbsolute(s core.Scenario) float64 {
 	return r.PoolAbsolute(s) + r.HonestAbsolute(s)
 }
 
-// PoolShare returns the pool's relative share of all rewards.
+// PoolShare returns the pools' combined relative share of all rewards.
 func (r Result) PoolShare() float64 {
 	total := r.Pool.Total() + r.Honest.Total()
 	if total == 0 {
 		return 0
 	}
 	return r.Pool.Total() / total
+}
+
+// RewardOf returns one pool's settled reward tally (pool 0: the honest
+// crowd; labels beyond the population earned nothing).
+func (r Result) RewardOf(pool mining.PoolID) chain.Reward {
+	if pool < 0 || int(pool) >= len(r.ByPool) {
+		return chain.Reward{}
+	}
+	return r.ByPool[pool]
+}
+
+// AbsoluteOf returns one pool's absolute revenue per rescaled time unit
+// under the given scenario — the per-pool counterpart of PoolAbsolute.
+func (r Result) AbsoluteOf(pool mining.PoolID, s core.Scenario) float64 {
+	n := r.normalizer(s)
+	if n == 0 {
+		return 0
+	}
+	return r.RewardOf(pool).Total() / n
+}
+
+// ShareOf returns one pool's relative share of all rewards.
+func (r Result) ShareOf(pool mining.PoolID) float64 {
+	total := r.Pool.Total() + r.Honest.Total()
+	if total == 0 {
+		return 0
+	}
+	return r.RewardOf(pool).Total() / total
 }
 
 // StateProbability estimates the stationary probability of state s from the
@@ -164,32 +207,40 @@ func RunTrace(cfg Config) (Result, *chain.Tree, error) {
 }
 
 // settleRun drives an initialized simulator through its run and settles the
-// final tree into a self-contained Result.
+// final tree into a self-contained Result. The chain is settled at the
+// consensus floor, so every race still in flight is excluded.
 func settleRun(s *simulator) (Result, error) {
 	if err := s.run(); err != nil {
 		return Result{}, err
 	}
 	cfg := s.cfg
-	settlement, err := s.tree.Settle(s.base, cfg.Schedule)
+	settlement, err := s.tree.Settle(s.consensusFloor(), cfg.Schedule)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: settling: %w", err)
 	}
 
 	pop := cfg.Population
 	result := Result{
-		Alpha:        pop.Alpha(),
-		Blocks:       cfg.Blocks,
-		MinerRewards: settlement.MinerRewards,
-		MinerSeen:    settlement.MinerSeen,
-		RegularCount: settlement.RegularCount,
-		UncleCount:   settlement.UncleCount,
-		StaleCount:   settlement.StaleCount,
-		Occupancy:    s.occupancyMap(),
+		Alpha:           pop.Alpha(),
+		Blocks:          cfg.Blocks,
+		ByPool:          make([]chain.Reward, pop.NumPools()+1),
+		MinerRewards:    settlement.MinerRewards,
+		MinerSeen:       settlement.MinerSeen,
+		RegularCount:    settlement.RegularCount,
+		UncleCount:      settlement.UncleCount,
+		StaleCount:      settlement.StaleCount,
+		OccupancyByPool: make([]map[core.State]int64, len(s.occ)),
 	}
+	for i := range s.occ {
+		result.OccupancyByPool[i] = s.occupancyMap(i)
+	}
+	result.Occupancy = result.OccupancyByPool[0]
 	// Summing the dense tallies in ID order keeps the float accumulation
 	// order deterministic (the map view has no stable order).
 	for id, reward := range settlement.MinerRewards {
-		if pop.IsSelfish(chain.MinerID(id)) {
+		pool := pop.PoolOf(chain.MinerID(id))
+		result.ByPool[pool] = result.ByPool[pool].Add(reward)
+		if pool != mining.HonestPool {
 			result.Pool = result.Pool.Add(reward)
 		} else {
 			result.Honest = result.Honest.Add(reward)
@@ -271,6 +322,12 @@ func (s Series) HonestAbsolute(scenario core.Scenario) stats.Accumulator {
 // TotalAbsolute returns statistics of the total absolute revenue.
 func (s Series) TotalAbsolute(scenario core.Scenario) stats.Accumulator {
 	return s.Mean(func(r Result) float64 { return r.TotalAbsolute(scenario) })
+}
+
+// AbsoluteOf returns statistics of one pool's absolute revenue across runs
+// (pool 0: the honest crowd).
+func (s Series) AbsoluteOf(pool mining.PoolID, scenario core.Scenario) stats.Accumulator {
+	return s.Mean(func(r Result) float64 { return r.AbsoluteOf(pool, scenario) })
 }
 
 // HonestUncleDistribution merges the honest uncle-distance counters of all

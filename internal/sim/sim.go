@@ -1,15 +1,19 @@
 // Package sim implements the paper's event-driven selfish-mining simulator
-// (Sec. V) on top of a real block tree.
+// (Sec. V) on top of a real block tree, generalized from the paper's single
+// selfish pool to K competing pools.
 //
 // Block-creation events arrive one at a time; each event's producer is drawn
-// from the miner population by hash power. Selfish miners act as one pool
-// running Algorithm 1 (withhold, publish strategically, reference uncles);
-// honest miners follow the protocol: mine on the longest public branch,
-// break ties toward the pool's branch with probability gamma, and reference
-// every eligible uncle they can see. Rewards are settled over the final
-// tree, so the simulator validates the analytic model end to end: state
-// occupancy, uncle distances, and revenue all emerge from the tree rather
-// than from the model's formulas.
+// from the miner population by hash power. Each colluding pool (label 1..K)
+// mines a private branch and runs its own Strategy (the default is the
+// paper's Algorithm 1); honest miners (pool 0) follow the protocol: mine on
+// the longest public branch, break ties with total probability gamma toward
+// whichever published pool branches tie for the lead (split evenly among
+// them), and reference every eligible uncle they can see. Rewards are
+// settled over the final tree, so the simulator validates the analytic
+// model end to end: state occupancy, uncle distances, and revenue all
+// emerge from the tree rather than from the model's formulas. The paper's
+// setting is the K = 1 special case and is bit-compatible with the
+// pre-generalization engine.
 package sim
 
 import (
@@ -52,10 +56,13 @@ var ErrBadConfig = errors.New("sim: invalid configuration")
 
 // Config describes one simulation.
 type Config struct {
-	// Population supplies miners and hash powers. Required.
+	// Population supplies miners, hash powers, and pool labels. Required.
 	Population *mining.Population
 
-	// Gamma is the honest tie-breaking parameter (Sec. IV-A).
+	// Gamma is the honest tie-breaking parameter (Sec. IV-A): the total
+	// fraction of honest power that mines on a published pool branch
+	// during a tie, split evenly across however many pool branches tie
+	// for the lead.
 	Gamma float64
 
 	// Schedule is the reward schedule (zero value: Ethereum).
@@ -71,12 +78,18 @@ type Config struct {
 	// unlimited (the paper's model); Ethereum uses 2.
 	MaxUnclesPerBlock int
 
-	// Strategy selects the pool's behavior. Nil means Algorithm1 (the
-	// paper's strategy).
+	// Strategy selects the behavior every pool runs when Strategies is
+	// not set. Nil means Algorithm1 (the paper's strategy).
 	Strategy Strategy
 
-	// PoolOmitsUncleRefs stops the pool from referencing uncles in its
-	// own blocks, isolating the nephew-income component of the attack.
+	// Strategies assigns one strategy per pool, indexed by PoolID-1
+	// (pool 1 first). When set, its length must equal the population's
+	// pool count and every entry must be non-nil; it overrides Strategy.
+	Strategies []Strategy
+
+	// PoolOmitsUncleRefs stops the pools from referencing uncles in
+	// their own blocks, isolating the nephew-income component of the
+	// attack.
 	PoolOmitsUncleRefs bool
 
 	// Parallelism bounds the worker goroutines RunMany fans independent
@@ -113,13 +126,74 @@ func (c Config) validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("%w: negative parallelism", ErrBadConfig)
 	}
+	if c.Strategies != nil {
+		if got, want := len(c.Strategies), c.Population.NumPools(); got != want {
+			return fmt.Errorf("%w: %d strategies for %d pools", ErrBadConfig, got, want)
+		}
+		for i, s := range c.Strategies {
+			if s == nil {
+				return fmt.Errorf("%w: nil strategy for pool %d", ErrBadConfig, i+1)
+			}
+		}
+	}
 	return nil
 }
 
-// simulator holds the evolving race state. The race bookkeeping mirrors
-// Algorithm 1: base is the last consensus block; poolBlocks is the pool's
-// private branch above base (the first publishedCount of them announced);
-// honestBranch is the public branch honest miners are extending.
+// strategyFor resolves the strategy pool p (1-based) runs. Defaults must
+// already be applied.
+func (c Config) strategyFor(p int) Strategy {
+	if c.Strategies != nil {
+		return c.Strategies[p-1]
+	}
+	return c.Strategy
+}
+
+// poolState is one pool's view of the race: a private branch of blocks
+// mined on top of root, the first published of them announced. root is the
+// block the pool last rejoined the network at (its fork point as of its
+// last adopt, rebase, or commit); a rival's later rebase can move the
+// public chain off it, leaving the true divergence deeper. The pool's
+// frame numbers are measured against root (see frame) — both Ls and Lh
+// shift by the same amount in that case, so length comparisons, and hence
+// strategy decisions, stay exact.
+type poolState struct {
+	strat Strategy
+
+	// root is the block the pool's branch builds on; rootHeight is its
+	// height, denormalized so frame computations never touch the tree.
+	root       chain.BlockID
+	rootHeight int
+
+	// blocks is the pool's private branch above root, oldest first; the
+	// first published of them are visible to honest miners.
+	blocks    []chain.BlockID
+	published int
+}
+
+// tip returns the top of the pool's branch (root when the branch is empty).
+func (p *poolState) tip() chain.BlockID {
+	if len(p.blocks) == 0 {
+		return p.root
+	}
+	return p.blocks[len(p.blocks)-1]
+}
+
+// publishedTip returns the top of the pool's announced prefix.
+func (p *poolState) publishedTip() chain.BlockID {
+	if p.published == 0 {
+		return p.root
+	}
+	return p.blocks[p.published-1]
+}
+
+// simulator holds the evolving race state. The race bookkeeping generalizes
+// Algorithm 1 to K pools: pubTip is the tip of the public chain honest
+// miners extend; each pool holds a private branch forking at its own root.
+// A pool's race frame is the (Ls, Lh, published) triple of Algorithm 1
+// measured from its root: Ls = len(blocks), Lh = pubHeight - rootHeight,
+// so Ls > Lh exactly when the pool's private chain is strictly longer than
+// the public one. With a single pool this reduces to the paper's
+// (ls, lh, published) race state bit for bit.
 //
 // A zero simulator is reusable: init prepares it for a run and retains all
 // storage from previous runs, so one simulator per worker amortizes the
@@ -130,6 +204,8 @@ type simulator struct {
 	tree   *chain.Tree
 
 	// published[id] reports whether honest miners can see the block.
+	// Unpublished blocks are additionally visible to the pool that mined
+	// them.
 	published []bool
 
 	// recent is a sliding window of blocks used as uncle candidates;
@@ -146,7 +222,8 @@ type simulator struct {
 	// it, so the parent has a second, on-chain child. eligibleUncles
 	// scans this set — almost always empty or a handful — instead of the
 	// whole candidate window, making the per-event uncle scan O(forks)
-	// rather than O(window).
+	// rather than O(window). The set is shared by all pools; visibility
+	// is filtered per viewer at scan time.
 	forkChildren []windowBlock
 
 	// referencedInWindow counts the forkChildren entries some block has
@@ -155,17 +232,32 @@ type simulator struct {
 	// ancestor references entirely.
 	referencedInWindow int
 
-	base           chain.BlockID
-	poolBlocks     []chain.BlockID
-	publishedCount int
-	honestBranch   []chain.BlockID
+	// pools holds the per-pool race state; pools[i] is PoolID i+1.
+	pools []poolState
 
-	// occ is the dense (Ls x Lh) occupancy grid, indexed Ls*occDim+Lh;
-	// occOverflow absorbs the rare states beyond the grid (races longer
-	// than the reference window) and is allocated only when needed.
-	occ         []int64
-	occOverflow map[core.State]int64
+	// pubTip is the tip of the public chain honest miners currently
+	// extend; pubHeight is its height.
+	pubTip    chain.BlockID
+	pubHeight int
+
+	// floor is the last computed consensus floor: the deepest block every
+	// future block must descend from (the common ancestor of the public
+	// tip and all pool branches). It advances at race resolutions and
+	// gates candidate purging.
+	floor chain.BlockID
+
+	// occ is the pool-indexed set of dense (Ls x Lh) occupancy grids
+	// (grid p-1 records pool p's frame; a poolless population keeps one
+	// grid pinned to (0,0)), each indexed Ls*occDim+Lh. occOverflow
+	// absorbs the rare states beyond a grid (races longer than the
+	// reference window) and is allocated only when needed.
+	occ         [][]int64
+	occOverflow []map[core.State]int64
 	window      int
+
+	// leaderScratch is reused by honest fork choice to collect the pool
+	// indices whose published branches tie for the public lead.
+	leaderScratch []int
 
 	// Scratch buffers reused by eligibleUncles so the per-event hot path
 	// stays allocation-free after warm-up. chainScratch maps window
@@ -222,72 +314,94 @@ func (s *simulator) init(cfg Config) {
 	s.recent = s.recent[:0]
 	s.forkChildren = s.forkChildren[:0]
 	s.referencedInWindow = 0
-	s.base = s.tree.Genesis()
-	s.poolBlocks = s.poolBlocks[:0]
-	s.publishedCount = 0
-	s.honestBranch = s.honestBranch[:0]
-	if s.occ == nil {
-		s.occ = make([]int64, occDim*occDim)
+
+	numPools := cfg.Population.NumPools()
+	if cap(s.pools) < numPools {
+		s.pools = make([]poolState, numPools)
 	} else {
-		clear(s.occ)
+		s.pools = s.pools[:numPools]
 	}
-	s.occOverflow = nil
+	genesis := s.tree.Genesis()
+	for i := range s.pools {
+		p := &s.pools[i]
+		p.strat = cfg.strategyFor(i + 1)
+		p.root = genesis
+		p.rootHeight = 0
+		p.blocks = p.blocks[:0]
+		p.published = 0
+	}
+	s.pubTip = genesis
+	s.pubHeight = 0
+	s.floor = genesis
+
+	grids := numPools
+	if grids == 0 {
+		grids = 1
+	}
+	if cap(s.occ) < grids {
+		s.occ = make([][]int64, grids)
+		s.occOverflow = make([]map[core.State]int64, grids)
+	} else {
+		s.occ = s.occ[:grids]
+		s.occOverflow = s.occOverflow[:grids]
+	}
+	for i := range s.occ {
+		if s.occ[i] == nil {
+			s.occ[i] = make([]int64, occDim*occDim)
+		} else {
+			clear(s.occ[i])
+		}
+		s.occOverflow[i] = nil
+	}
 	if cap(s.chainScratch) < window+2 {
 		s.chainScratch = make([]chain.BlockID, 0, window+2)
 	}
 }
 
-// recordState tallies the (Ls, Lh) state observed just before an event.
-func (s *simulator) recordState() {
-	ls, lh := len(s.poolBlocks), len(s.honestBranch)
-	if ls < occDim && lh < occDim {
-		s.occ[ls*occDim+lh]++
-		return
-	}
-	if s.occOverflow == nil {
-		s.occOverflow = make(map[core.State]int64)
-	}
-	s.occOverflow[core.State{S: ls, H: lh}]++
+// frame returns pool index i's race frame: the (Ls, Lh, published) triple
+// of Algorithm 1 measured from the pool's root.
+func (s *simulator) frame(i int) (ls, lh, published int) {
+	p := &s.pools[i]
+	return len(p.blocks), s.pubHeight - p.rootHeight, p.published
 }
 
-// occupancyMap materializes the per-state event counts (the Result view).
-func (s *simulator) occupancyMap() map[core.State]int64 {
+// recordState tallies every pool's frame observed just before an event.
+func (s *simulator) recordState() {
+	if len(s.pools) == 0 {
+		s.occ[0][0]++ // the all-honest network idles at (0, 0)
+		return
+	}
+	for i := range s.pools {
+		ls, lh, _ := s.frame(i)
+		if ls < occDim && lh >= 0 && lh < occDim {
+			s.occ[i][ls*occDim+lh]++
+			continue
+		}
+		if s.occOverflow[i] == nil {
+			s.occOverflow[i] = make(map[core.State]int64)
+		}
+		s.occOverflow[i][core.State{S: ls, H: lh}]++
+	}
+}
+
+// occupancyMap materializes pool index i's per-state event counts (the
+// Result view).
+func (s *simulator) occupancyMap(i int) map[core.State]int64 {
 	out := make(map[core.State]int64)
-	for i, n := range s.occ {
+	for idx, n := range s.occ[i] {
 		if n != 0 {
-			out[core.State{S: i / occDim, H: i % occDim}] = n
+			out[core.State{S: idx / occDim, H: idx % occDim}] = n
 		}
 	}
-	for state, n := range s.occOverflow {
+	for state, n := range s.occOverflow[i] {
 		out[state] = n
 	}
 	return out
 }
 
-// state returns the current (Ls, Lh) pair of Algorithm 1.
-func (s *simulator) state() core.State {
-	return core.State{S: len(s.poolBlocks), H: len(s.honestBranch)}
-}
-
-func (s *simulator) poolTip() chain.BlockID {
-	if len(s.poolBlocks) == 0 {
-		return s.base
-	}
-	return s.poolBlocks[len(s.poolBlocks)-1]
-}
-
-func (s *simulator) honestTip() chain.BlockID {
-	if len(s.honestBranch) == 0 {
-		return s.base
-	}
-	return s.honestBranch[len(s.honestBranch)-1]
-}
-
-func (s *simulator) publishedPoolTip() chain.BlockID {
-	if s.publishedCount == 0 {
-		return s.base
-	}
-	return s.poolBlocks[s.publishedCount-1]
+// poolOf returns the pool label of the miner that produced a block.
+func (s *simulator) poolOf(id chain.BlockID) mining.PoolID {
+	return s.cfg.Population.PoolOf(s.tree.MinerOf(id))
 }
 
 // addForkChild inserts b into the ID-sorted fork-child set. Blocks enter at
@@ -379,43 +493,65 @@ func (s *simulator) extend(parent chain.BlockID, miner chain.MinerID, uncles []c
 	return id, nil
 }
 
-// publish marks the first n pool blocks as visible to honest miners.
-func (s *simulator) publish(n int) {
-	for i := s.publishedCount; i < n && i < len(s.poolBlocks); i++ {
-		s.published[s.poolBlocks[i]] = true
+// publishPool marks the first n blocks of pool p's branch as visible to
+// honest miners.
+func (s *simulator) publishPool(p *poolState, n int) {
+	for i := p.published; i < n && i < len(p.blocks); i++ {
+		s.published[p.blocks[i]] = true
 	}
-	if n > s.publishedCount {
-		s.publishedCount = n
+	if n > p.published {
+		p.published = n
 	}
 }
 
-// reset commits a finished race: winner becomes the new consensus base.
-func (s *simulator) reset(winner chain.BlockID) {
-	s.base = winner
-	s.poolBlocks = s.poolBlocks[:0]
-	s.publishedCount = 0
-	s.honestBranch = s.honestBranch[:0]
+// consensusFloor returns the deepest block every future block must descend
+// from: the common ancestor of the public tip and every pool's branch (its
+// private tip, or its root while the branch is empty — the pool's next
+// block forks there).
+func (s *simulator) consensusFloor() chain.BlockID {
+	floor := s.pubTip
+	for i := range s.pools {
+		if tip := s.pools[i].tip(); tip != floor {
+			floor = s.tree.CommonAncestor(floor, tip)
+		}
+	}
+	return floor
+}
+
+// resolve recomputes the consensus floor after a pool committed or adopted
+// and, when the floor advanced, purges uncle candidates the new floor
+// decides for good. With a single pool the floor is exactly the paper's
+// race base, and resolve fires at the same points the two-party engine's
+// race reset did.
+func (s *simulator) resolve() {
+	floor := s.consensusFloor()
+	if floor == s.floor {
+		return
+	}
+	s.floor = floor
 	if len(s.forkChildren) > 0 {
-		s.purgeForkChildren(winner)
+		s.purgeForkChildren(floor)
 	}
 }
 
-// purgeForkChildren drops candidates a finished race made permanently
-// ineligible. Every future block descends from winner, so a candidate can
-// be discarded for good when the settled chain through winner decides its
-// fate: it is referenced by a block on that chain (always rejected by the
-// already-referenced rule), it is on that chain itself, or its parent is
-// off that chain (never attachable again). Purging here keeps the
-// fork-child set down to genuine open candidates, so eligibleUncles'
+// purgeForkChildren drops candidates the consensus floor makes permanently
+// ineligible. Every future block descends from floor, so a candidate can be
+// discarded for good when the settled chain through floor decides its fate:
+// it is referenced by a block on that chain (always rejected by the
+// already-referenced rule), it is on that chain itself (an ancestor of every
+// future block), or its parent sits at or below the floor yet off that
+// chain (never attachable again). Candidates attached above the floor stay:
+// they may yet be referenced from a live private branch. Purging here keeps
+// the fork-child set down to genuine open candidates, so eligibleUncles'
 // fast path fires instead of re-rejecting dead candidates every event
 // until the window trims them.
-func (s *simulator) purgeForkChildren(winner chain.BlockID) {
+func (s *simulator) purgeForkChildren(floor chain.BlockID) {
 	t := s.tree
-	winnerHeight := t.HeightOf(winner)
-	// One walk down winner's chain covers every check below; it spans
-	// from the lowest candidate's parent height (clamped to winner) up
-	// to winner.
-	base := winnerHeight
+	floorHeight := t.HeightOf(floor)
+	// One walk down floor's chain covers every check below; it spans
+	// from the lowest candidate's parent height (clamped to floor) up
+	// to floor.
+	base := floorHeight
 	for _, cand := range s.forkChildren {
 		if cand.height-1 < base {
 			base = cand.height - 1
@@ -424,7 +560,7 @@ func (s *simulator) purgeForkChildren(winner chain.BlockID) {
 	if base < 0 {
 		base = 0
 	}
-	span := winnerHeight - base + 1
+	span := floorHeight - base + 1
 	if cap(s.purgeScratch) < span {
 		s.purgeScratch = make([]chain.BlockID, span)
 	}
@@ -432,7 +568,7 @@ func (s *simulator) purgeForkChildren(winner chain.BlockID) {
 	for i := range onChain {
 		onChain[i] = chain.NoBlock
 	}
-	cursor := winner
+	cursor := floor
 	for {
 		up, h := t.ParentAndHeight(cursor)
 		onChain[h-base] = cursor
@@ -442,7 +578,7 @@ func (s *simulator) purgeForkChildren(winner chain.BlockID) {
 		cursor = up
 	}
 	isOn := func(b chain.BlockID, h int) bool {
-		return h >= base && h <= winnerHeight && onChain[h-base] == b
+		return h >= base && h <= floorHeight && onChain[h-base] == b
 	}
 
 	kept := s.forkChildren[:0]
@@ -455,7 +591,7 @@ func (s *simulator) purgeForkChildren(winner chain.BlockID) {
 			remove = true // referenced on the consensus chain
 		case isOn(c, cand.height):
 			remove = true // on the consensus chain itself
-		case !isOn(t.ParentOf(c), cand.height-1):
+		case cand.height-1 <= floorHeight && !isOn(t.ParentOf(c), cand.height-1):
 			remove = true // parent off every future chain
 		}
 		if remove {
@@ -470,16 +606,18 @@ func (s *simulator) purgeForkChildren(winner chain.BlockID) {
 }
 
 // eligibleUncles returns the uncle references a block mined on parent may
-// include: visible blocks within the reference window whose parent lies on
-// the new block's chain, that are not on that chain themselves, and that no
-// chain ancestor already references. poolView additionally lets the pool see
-// its own unpublished blocks (it never references them — they are on its
-// chain — but visibility is per-miner).
+// include: blocks within the reference window that the viewer can see,
+// whose parent lies on the new block's chain, that are not on that chain
+// themselves, and that no chain ancestor already references. The viewer is
+// a pool label: honest miners (0) see only published blocks; a pool
+// additionally sees its own unpublished blocks (visibility is per-camp —
+// referencing an own stale private block reveals it in the nephew's
+// header).
 //
 // The returned slice aliases a scratch buffer owned by the simulator; it is
 // only valid until the next eligibleUncles call. Callers hand it straight to
 // the tree, which copies it.
-func (s *simulator) eligibleUncles(parent chain.BlockID, poolView bool) []chain.BlockID {
+func (s *simulator) eligibleUncles(parent chain.BlockID, viewer mining.PoolID) []chain.BlockID {
 	// Fast path: an eligible uncle is off the new block's chain while
 	// its parent is on it, so its parent has a second child — only the
 	// incrementally maintained fork-child set needs scanning, and it is
@@ -503,8 +641,9 @@ func (s *simulator) eligibleUncles(parent chain.BlockID, poolView bool) []chain.
 		if cand.height < lowest || cand.height >= newHeight {
 			continue
 		}
-		if !s.published[cand.id] && !poolView {
-			continue // invisible to honest miners
+		if !s.published[cand.id] &&
+			(viewer == mining.HonestPool || s.poolOf(cand.id) != viewer) {
+			continue // invisible to this viewer
 		}
 		if cand.height < minH {
 			minH = cand.height
@@ -595,96 +734,204 @@ func containsBlock(ids []chain.BlockID, id chain.BlockID) bool {
 	return false
 }
 
-// poolEvent handles a block mined by the selfish pool (Algorithm 1,
-// lines 1-7, with the decision delegated to the configured strategy).
-func (s *simulator) poolEvent(miner chain.MinerID) error {
+// poolEvent handles a block mined by pool index pi (Algorithm 1, lines 1-7,
+// with the decision delegated to the pool's strategy). A block mined in
+// private is invisible to everyone else, so only the mining pool is
+// consulted — unless its reaction advances the public chain (a commit), in
+// which case every other pool reacts to the new public state.
+func (s *simulator) poolEvent(pi int, miner chain.MinerID) error {
+	p := &s.pools[pi]
 	var uncles []chain.BlockID
 	if !s.cfg.PoolOmitsUncleRefs {
-		uncles = s.eligibleUncles(s.poolTip(), true)
+		uncles = s.eligibleUncles(p.tip(), mining.PoolID(pi+1))
 	}
-	id, err := s.extend(s.poolTip(), miner, uncles, false)
+	id, err := s.extend(p.tip(), miner, uncles, false)
 	if err != nil {
 		return err
 	}
-	s.poolBlocks = append(s.poolBlocks, id)
+	p.blocks = append(p.blocks, id)
 
-	ls, lh := len(s.poolBlocks), len(s.honestBranch)
-	return s.applyReaction(s.cfg.Strategy.ReactToPool(ls, lh, s.publishedCount))
-}
-
-// applyReaction executes a strategy decision.
-func (s *simulator) applyReaction(r Reaction) error {
-	ls, lh := len(s.poolBlocks), len(s.honestBranch)
-	if err := validateReaction(r, ls, lh, s.publishedCount); err != nil {
-		return fmt.Errorf("%s: at (%d,%d): %w", s.cfg.Strategy.Name(), ls, lh, err)
+	before := s.pubHeight
+	if err := s.applyReaction(pi, p.strat.ReactToPool(s.frame(pi))); err != nil {
+		return err
 	}
-	switch {
-	case r.Adopt:
-		s.reset(s.honestTip())
-	case r.Commit:
-		s.publish(ls)
-		s.reset(s.poolTip())
-	default:
-		s.publish(r.PublishTo)
+	if s.pubHeight != before {
+		return s.reactOthers(pi)
 	}
 	return nil
 }
 
-// honestEvent handles a block mined by an honest miner (Algorithm 1,
-// lines 8-20, including the pool's reaction).
-func (s *simulator) honestEvent(miner chain.MinerID) error {
-	// Fork choice: longest public branch; gamma tie-break between the
-	// pool's published prefix and the honest branch. (A strategy that
-	// over-publishes makes the pool's public branch strictly longer, in
-	// which case every honest miner follows it.)
-	lh := len(s.honestBranch)
-	target := s.honestTip()
-	onPoolBranch := false
+// reactOthers consults every pool except skip about an advanced public
+// chain, in pool order with fresh frames, and repeats the pass (now
+// including skip) until the public chain quiesces: a commit mid-pass
+// advances the chain for pools consulted before it, and every pool must
+// have seen the final public state before the next event. The loop
+// terminates because only commits re-trigger it and each commit strictly
+// raises the public height, bounded by the pools' finite private branches.
+func (s *simulator) reactOthers(skip int) error {
+	for {
+		before := s.pubHeight
+		for i := range s.pools {
+			if i == skip {
+				continue
+			}
+			if err := s.applyReaction(i, s.pools[i].strat.ReactToHonest(s.frame(i))); err != nil {
+				return err
+			}
+		}
+		if s.pubHeight == before {
+			return nil
+		}
+		skip = -1
+	}
+}
+
+// applyReaction executes pool index pi's strategy decision.
+func (s *simulator) applyReaction(pi int, r Reaction) error {
+	p := &s.pools[pi]
+	ls, lh, published := s.frame(pi)
+	if err := validateReaction(r, ls, lh, published); err != nil {
+		return fmt.Errorf("%s (pool %d): at (%d,%d): %w", p.strat.Name(), pi+1, ls, lh, err)
+	}
 	switch {
-	case s.publishedCount > lh:
-		target = s.publishedPoolTip()
-		onPoolBranch = true
-	case s.publishedCount >= 1 && s.publishedCount == lh:
-		if s.random.Bernoulli(s.cfg.Gamma) {
-			target = s.publishedPoolTip()
-			onPoolBranch = true
+	case r.Adopt:
+		// Abandon the private branch and rejoin the public chain.
+		p.blocks = p.blocks[:0]
+		p.published = 0
+		p.root = s.pubTip
+		p.rootHeight = s.pubHeight
+		s.resolve()
+	case r.Commit:
+		// Publish the whole branch; strictly longest, it becomes the
+		// public chain (validateReaction guarantees ls > lh).
+		s.publishPool(p, ls)
+		tip := p.blocks[ls-1]
+		s.pubTip = tip
+		s.pubHeight = p.rootHeight + ls
+		p.blocks = p.blocks[:0]
+		p.published = 0
+		p.root = tip
+		p.rootHeight = s.pubHeight
+		s.resolve()
+	default:
+		s.publishPool(p, r.PublishTo)
+	}
+	return nil
+}
+
+// clampIndex maps a unit-interval fraction to an index in [0, n), guarding
+// the u == 1-epsilon rounding edge.
+func clampIndex(fraction float64, n int) int {
+	idx := int(fraction * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// pickLeader chooses uniformly among the tied leading pools, consuming a
+// draw only when there is an actual choice.
+func (s *simulator) pickLeader(leaders []int) int {
+	if len(leaders) == 1 {
+		return leaders[0]
+	}
+	return leaders[clampIndex(s.random.Float64(), len(leaders))]
+}
+
+// honestEvent handles a block mined by an honest miner (Algorithm 1,
+// lines 8-20, including every pool's reaction).
+func (s *simulator) honestEvent(miner chain.MinerID) error {
+	// Fork choice: longest public branch. The candidates are the honest
+	// public tip and every pool's published prefix; a strictly highest
+	// branch wins outright, and when branches tie for the lead the
+	// honest miner splits gamma across the tied pool branches (a
+	// strategy that over-publishes makes its public branch strictly
+	// longer, in which case every honest miner follows it).
+	bestHeight := s.pubHeight
+	leaders := s.leaderScratch[:0]
+	for i := range s.pools {
+		p := &s.pools[i]
+		if p.published == 0 {
+			continue
+		}
+		h := p.rootHeight + p.published
+		switch {
+		case h > bestHeight:
+			bestHeight = h
+			leaders = append(leaders[:0], i)
+		case h == bestHeight:
+			leaders = append(leaders, i)
+		}
+	}
+	s.leaderScratch = leaders
+
+	targetPool := -1
+	switch {
+	case len(leaders) == 0:
+		// The honest tip leads alone.
+	case bestHeight > s.pubHeight:
+		// Pool branches strictly lead: honest miners must follow one;
+		// several tie only among themselves (uniform pick).
+		targetPool = s.pickLeader(leaders)
+	default:
+		// Tie with the honest tip: total probability gamma goes to the
+		// pool branches, split evenly; one uniform draw decides both
+		// questions. With one tied pool this is exactly
+		// Bernoulli(gamma), the paper's tie rule — including consuming
+		// no randomness at the degenerate gamma values.
+		gamma := s.cfg.Gamma
+		switch {
+		case gamma <= 0:
+			// The honest tip always wins the tie.
+		case gamma >= 1:
+			targetPool = s.pickLeader(leaders)
+		default:
+			if u := s.random.Float64(); u < gamma {
+				targetPool = leaders[clampIndex(u/gamma, len(leaders))]
+			}
 		}
 	}
 
-	uncles := s.eligibleUncles(target, false)
+	target := s.pubTip
+	if targetPool >= 0 {
+		target = s.pools[targetPool].publishedTip()
+	}
+	uncles := s.eligibleUncles(target, mining.HonestPool)
 	id, err := s.extend(target, miner, uncles, true)
 	if err != nil {
 		return err
 	}
 
-	if onPoolBranch {
-		// The new block extends the pool's published prefix: that
-		// prefix becomes common history (a rebase). The pool keeps
-		// only its blocks above the old published tip.
-		s.base = s.publishedPoolTip()
-		remaining := len(s.poolBlocks) - s.publishedCount
-		copy(s.poolBlocks, s.poolBlocks[s.publishedCount:])
-		s.poolBlocks = s.poolBlocks[:remaining]
-		s.publishedCount = 0
-		s.honestBranch = s.honestBranch[:0]
+	if targetPool >= 0 {
+		// The new block extends a pool's published prefix: that prefix
+		// becomes public history (a rebase). The pool keeps only its
+		// blocks above the old published tip.
+		p := &s.pools[targetPool]
+		p.root = target
+		p.rootHeight += p.published
+		n := copy(p.blocks, p.blocks[p.published:])
+		p.blocks = p.blocks[:n]
+		p.published = 0
 	}
-	s.honestBranch = append(s.honestBranch, id)
+	s.pubTip = id
+	s.pubHeight = bestHeight + 1
 
-	// The pool's reaction (Algorithm 1 lines 10-20, or a variant).
-	ls, lh := len(s.poolBlocks), len(s.honestBranch)
-	return s.applyReaction(s.cfg.Strategy.ReactToHonest(ls, lh, s.publishedCount))
+	// Every pool's reaction (Algorithm 1 lines 10-20, or a variant), in
+	// pool order with fresh frames.
+	return s.reactOthers(-1)
 }
 
 // run executes the configured number of block events and returns the
-// resulting tree state. The unfinished final race is excluded from
-// settlement (the chain is settled at the last consensus base).
+// resulting tree state. The races still in flight when the run ends are
+// excluded from settlement (the chain is settled at the consensus floor).
 func (s *simulator) run() error {
+	pop := s.cfg.Population
 	for i := 0; i < s.cfg.Blocks; i++ {
 		s.recordState()
-		miner := s.cfg.Population.Sample(s.random)
+		miner := pop.Sample(s.random)
 		var err error
-		if miner.Selfish {
-			err = s.poolEvent(miner.ID)
+		if miner.Pool != mining.HonestPool {
+			err = s.poolEvent(int(miner.Pool)-1, miner.ID)
 		} else {
 			err = s.honestEvent(miner.ID)
 		}

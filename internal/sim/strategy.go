@@ -27,9 +27,12 @@ type Reaction struct {
 	Adopt bool
 }
 
-// Strategy decides the pool's reactions. Implementations must be
-// deterministic functions of the race state (ls, lh, published): the
-// simulator owns all randomness.
+// Strategy decides one pool's reactions. Each pool in a K-pool race runs
+// its own Strategy instance and is consulted only on its own race frame:
+// ls is its private branch length, lh the public chain's length over the
+// pool's fork point, and published its announced prefix. Implementations
+// must be deterministic functions of that frame: the simulator owns all
+// randomness.
 type Strategy interface {
 	// Name identifies the strategy in results.
 	Name() string
@@ -38,15 +41,16 @@ type Strategy interface {
 	// updated private length ls.
 	ReactToPool(ls, lh, published int) Reaction
 
-	// ReactToHonest is consulted after an honest block, with the updated
-	// public length lh (and after any rebase onto the pool's published
-	// prefix).
+	// ReactToHonest is consulted whenever the public chain advances
+	// without the pool's doing — an honest block (after any rebase onto
+	// the pool's published prefix), or a rival pool committing a longer
+	// branch — with the updated public length lh.
 	ReactToHonest(ls, lh, published int) Reaction
 }
 
 // ErrBadReaction reports a strategy decision that violates the protocol
 // invariants (committing without a longer branch, publishing blocks that do
-// not exist).
+// not exist, or un-publishing already-announced blocks).
 var ErrBadReaction = errors.New("sim: strategy returned an invalid reaction")
 
 // validateReaction checks a strategy's decision against the race state.
@@ -60,7 +64,12 @@ func validateReaction(r Reaction, ls, lh, published int) error {
 	if r.PublishTo > ls {
 		return fmt.Errorf("%w: publish %d of %d blocks", ErrBadReaction, r.PublishTo, ls)
 	}
-	_ = published
+	// PublishTo == 0 is the zero-value no-op; any other value below the
+	// announced count would retract blocks honest miners already saw.
+	if r.PublishTo != 0 && r.PublishTo < published {
+		return fmt.Errorf("%w: un-publish to %d of %d announced blocks",
+			ErrBadReaction, r.PublishTo, published)
+	}
 	return nil
 }
 

@@ -43,22 +43,27 @@ func TestAlgorithm1ReactionsMatchPaper(t *testing.T) {
 
 func TestValidateReaction(t *testing.T) {
 	tests := []struct {
-		name     string
-		reaction Reaction
-		ls, lh   int
-		wantErr  bool
+		name      string
+		reaction  Reaction
+		ls, lh    int
+		published int
+		wantErr   bool
 	}{
-		{"noop", Reaction{}, 3, 1, false},
-		{"publish in range", Reaction{PublishTo: 2}, 3, 1, false},
-		{"publish too many", Reaction{PublishTo: 4}, 3, 1, true},
-		{"commit ahead", Reaction{Commit: true}, 3, 1, false},
-		{"commit behind", Reaction{Commit: true}, 1, 1, true},
-		{"commit and adopt", Reaction{Commit: true, Adopt: true}, 3, 1, true},
-		{"adopt", Reaction{Adopt: true}, 1, 2, false},
+		{"noop", Reaction{}, 3, 1, 0, false},
+		{"publish in range", Reaction{PublishTo: 2}, 3, 1, 0, false},
+		{"publish too many", Reaction{PublishTo: 4}, 3, 1, 0, true},
+		{"commit ahead", Reaction{Commit: true}, 3, 1, 0, false},
+		{"commit behind", Reaction{Commit: true}, 1, 1, 0, true},
+		{"commit and adopt", Reaction{Commit: true, Adopt: true}, 3, 1, 0, true},
+		{"adopt", Reaction{Adopt: true}, 1, 2, 0, false},
+		{"noop with announced blocks", Reaction{}, 3, 1, 2, false},
+		{"republish announced count", Reaction{PublishTo: 2}, 3, 1, 2, false},
+		{"extend announced prefix", Reaction{PublishTo: 3}, 3, 2, 2, false},
+		{"un-publish announced blocks", Reaction{PublishTo: 1}, 3, 1, 2, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := validateReaction(tt.reaction, tt.ls, tt.lh, 0)
+			err := validateReaction(tt.reaction, tt.ls, tt.lh, tt.published)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
 			}

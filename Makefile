@@ -6,7 +6,10 @@ GO ?= go
 # Baseline file consumed by bench-compare; create it with bench-baseline.
 BENCH_BASELINE ?= bench-baseline.json
 
-.PHONY: check build vet test race bench bench-json bench-baseline bench-compare bench-smoke
+.PHONY: check build vet test race fuzz-smoke bench bench-json bench-baseline bench-compare bench-smoke
+
+# How long each fuzz target runs in fuzz-smoke; CI uses the default.
+FUZZTIME ?= 10s
 
 check: vet test race
 
@@ -20,8 +23,19 @@ test: build
 	$(GO) test ./...
 
 # The parallel engine's determinism tests double as its data-race check.
+# -short skips the full best-response grid search, which the plain test
+# target already covers; everything else (including the tournament's
+# parallel-vs-sequential check over parametric strategies) runs under the
+# detector.
 race:
-	$(GO) test -race ./internal/parallel ./internal/sim ./internal/experiments
+	$(GO) test -race -short ./internal/parallel ./internal/sim ./internal/experiments
+
+# Short randomized passes over the simulator's fuzz targets (the strategy
+# gate and the random-legal-reaction property); Go allows one -fuzz target
+# per invocation, hence the two runs.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzValidateReaction -fuzztime=$(FUZZTIME) ./internal/sim
+	$(GO) test -run=NONE -fuzz=FuzzRandomLegalStrategySimulation -fuzztime=$(FUZZTIME) ./internal/sim
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .

@@ -214,6 +214,72 @@ func BenchmarkSimulator100kBlocks2Pools(b *testing.B) {
 	b.ReportMetric(100000, "blocks/op")
 }
 
+func BenchmarkSimulator100kBlocks2PoolsStubborn(b *testing.B) {
+	// The 2-pool tournament workload: two parametric stubborn pools from
+	// the registry racing over the same chain. All three performance
+	// invariants must hold with parametric strategies in play — O(1) per
+	// event in the population, O(K) in the pool count, and an
+	// allocation-free steady state.
+	b.ReportAllocs()
+	pop, err := mining.MultiAgent(0.25, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	strategies, err := sim.NewStrategies([]sim.StrategySpec{
+		sim.MustStrategySpec("stubborn:fork=1,lead=1"),
+		sim.MustStrategySpec("stubborn:trail=2"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := sim.Run(sim.Config{
+			Population: pop,
+			Gamma:      0.5,
+			Blocks:     100000,
+			Seed:       uint64(i),
+			Strategies: strategies,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.RegularCount == 0 {
+			b.Fatal("no settled blocks")
+		}
+	}
+	b.ReportMetric(100000, "blocks/op")
+}
+
+func BenchmarkTournament(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.Tournament(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(result.Matches) == 0 {
+			b.Fatal("no matches played")
+		}
+	}
+}
+
+func BenchmarkBestResponse(b *testing.B) {
+	// One run per point keeps the full (gamma x alpha x candidate) grid
+	// affordable as a tracked workload.
+	opts := experiments.Quick()
+	opts.Runs = 1
+	opts.Blocks = 4000
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.BestResponse(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(result.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
 func BenchmarkPoolWars(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		result, err := experiments.PoolWars(experiments.Quick())

@@ -113,6 +113,35 @@ func benchmarks() []benchmark {
 				}
 			}
 		}},
+		{name: "sim-100k-blocks-2pools-stubborn", run: func(b *testing.B, parallel int) {
+			// Two parametric pools from the registry racing each
+			// other: the strategy-space engine's tracking workload.
+			// Must stay allocation-free in steady state and within a
+			// small factor of the Algorithm-1 2-pool bench.
+			pop, err := mining.MultiAgent(0.25, 0.2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			strategies, err := sim.NewStrategies([]sim.StrategySpec{
+				sim.MustStrategySpec("stubborn:fork=1,lead=1"),
+				sim.MustStrategySpec("stubborn:trail=2"),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     100000,
+					Seed:       uint64(i),
+					Strategies: strategies,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{name: "runmany-10x20k", run: func(b *testing.B, parallel int) {
 			pop, err := mining.TwoAgent(0.35)
 			if err != nil {
@@ -163,6 +192,17 @@ func benchmarks() []benchmark {
 			opts.Parallelism = parallel
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.PoolWars(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "tournament-quick", run: func(b *testing.B, parallel int) {
+			// The round-robin engine over registry specs; part of the
+			// -baseline regression gate alongside the 2-pool sims.
+			opts := experiments.Quick()
+			opts.Parallelism = parallel
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Tournament(opts); err != nil {
 					b.Fatal(err)
 				}
 			}

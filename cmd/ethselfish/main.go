@@ -1,22 +1,30 @@
 // Command ethselfish regenerates every table and figure of "Selfish Mining
-// in Ethereum" (Niu & Feng, ICDCS 2019).
+// in Ethereum" (Niu & Feng, ICDCS 2019), and drives the strategy-space
+// engines that extend the paper (tournaments and best-response searches
+// over registry strategy specs).
 //
 // Usage:
 //
 //	ethselfish [flags] <experiment>
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, table2, secvi,
-// diffablation, strategies, poolwars, all.
+// diffablation, strategies, poolwars, tournament, bestresponse, all.
 //
 // Flags:
 //
-//	-quick        reduced simulation effort (2 runs x 20k blocks)
-//	-runs N       simulation runs per data point (default 10, as the paper)
-//	-blocks N     block events per run (default 100000, as the paper)
-//	-seed N       base RNG seed (default 1)
-//	-parallel N   worker goroutines for the experiment engine (default 0:
-//	              one per CPU); results are identical at any setting
-//	-csv          emit CSV instead of aligned text
+//	-quick         reduced simulation effort (2 runs x 20k blocks);
+//	               explicit -runs/-blocks still apply on top
+//	-runs N        simulation runs per data point (default 10, as the paper)
+//	-blocks N      block events per run (default 100000, as the paper)
+//	-seed N        base RNG seed (default 1)
+//	-parallel N    worker goroutines for the experiment engine (default 0:
+//	               one per CPU); results are identical at any setting
+//	-strategies S  comma-separated strategy specs (e.g.
+//	               "algorithm1,stubborn:lead=1,trail-stubborn") for the
+//	               strategies and tournament experiments (bestresponse
+//	               searches its own fixed candidate grid)
+//	-list          enumerate experiments and registered strategy specs
+//	-csv           emit CSV instead of aligned text
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"strings"
 
 	"github.com/ethselfish/ethselfish/internal/experiments"
+	"github.com/ethselfish/ethselfish/internal/sim"
 	"github.com/ethselfish/ethselfish/internal/table"
 )
 
@@ -40,20 +49,29 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ethselfish", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "reduced simulation effort")
-		runs     = fs.Int("runs", experiments.DefaultRuns, "simulation runs per data point")
-		blocks   = fs.Int("blocks", experiments.DefaultBlocks, "block events per run")
-		seed     = fs.Uint64("seed", 1, "base RNG seed")
-		parallel = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
-		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		quick      = fs.Bool("quick", false, "reduced simulation effort")
+		runs       = fs.Int("runs", experiments.DefaultRuns, "simulation runs per data point")
+		blocks     = fs.Int("blocks", experiments.DefaultBlocks, "block events per run")
+		seed       = fs.Uint64("seed", 1, "base RNG seed")
+		parallel   = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
+		strategies = fs.String("strategies", "", "comma-separated strategy specs for strategies/tournament (not bestresponse)")
+		list       = fs.Bool("list", false, "list experiments and registered strategy specs")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: ethselfish [flags] <experiment>\n")
-		fmt.Fprintf(fs.Output(), "experiments: %s\n\n", strings.Join(experimentNames(), ", "))
+		fmt.Fprintf(fs.Output(), "experiments: %s\n", strings.Join(experimentNames(), ", "))
+		fmt.Fprintf(fs.Output(), "run `ethselfish -list` for the strategy-spec registry\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-list takes no experiment argument")
+		}
+		return printList(w)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -64,13 +82,39 @@ func run(args []string, w io.Writer) error {
 	if *quick {
 		opts = experiments.Quick()
 		opts.Seed = *seed
+		// Explicitly set -runs/-blocks still apply on top of the quick
+		// defaults, so effort can be dialed below (or above) quick.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "runs":
+				opts.Runs = *runs
+			case "blocks":
+				opts.Blocks = *blocks
+			}
+		})
 	}
 	opts.Parallelism = *parallel
 
+	specs, err := parseSpecList(*strategies)
+	if err != nil {
+		return err
+	}
+
 	name := fs.Arg(0)
+	// The tournament needs a field of at least two entrants; reject a
+	// lone spec before any simulation runs (an "all" sweep would
+	// otherwise burn through every earlier experiment first). And
+	// bestresponse searches its own fixed candidate grid — reject
+	// -strategies there rather than silently ignoring it.
+	if len(specs) == 1 && (name == "tournament" || name == "all") {
+		return fmt.Errorf("-strategies needs at least 2 specs for the tournament, got 1")
+	}
+	if len(specs) > 0 && name == "bestresponse" {
+		return fmt.Errorf("bestresponse searches the whole stubborn family; -strategies is not supported (use strategies or tournament)")
+	}
 	if name == "all" {
 		for _, exp := range experimentNames() {
-			if err := emit(w, exp, opts, *csv); err != nil {
+			if err := emit(w, exp, opts, specs, *csv); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintln(w); err != nil {
@@ -79,18 +123,90 @@ func run(args []string, w io.Writer) error {
 		}
 		return nil
 	}
-	return emit(w, name, opts, *csv)
+	return emit(w, name, opts, specs, *csv)
+}
+
+// parseSpecList parses a comma-separated list of strategy specs, validating
+// each against the registry so bad specs fail before any simulation starts.
+// A spec may itself contain commas between its parameters
+// ("stubborn:lead=1,trail=2"), so a fragment of the bare form key=value
+// continues the previous spec rather than starting a new one.
+func parseSpecList(s string) ([]sim.StrategySpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var raws []string
+	for _, frag := range strings.Split(s, ",") {
+		head, _, isAssign := strings.Cut(frag, "=")
+		if isAssign && !strings.Contains(head, ":") && !specRegistered(head) && len(raws) > 0 {
+			raws[len(raws)-1] += "," + frag
+			continue
+		}
+		raws = append(raws, frag)
+	}
+	specs := make([]sim.StrategySpec, 0, len(raws))
+	for _, raw := range raws {
+		spec, err := sim.ParseStrategySpec(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.NewStrategy(spec); err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// specRegistered reports whether name is a registered strategy name.
+func specRegistered(name string) bool {
+	for _, def := range sim.StrategyDefs() {
+		if def.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// printList enumerates the experiments and the strategy registry — the
+// parameter ranges come from the registry itself, not a hand-maintained
+// usage string.
+func printList(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "experiments:"); err != nil {
+		return err
+	}
+	for _, name := range experimentNames() {
+		if _, err := fmt.Fprintf(w, "  %s\n", name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "\nstrategy specs (for -strategies; defaults in parentheses):"); err != nil {
+		return err
+	}
+	for _, def := range sim.StrategyDefs() {
+		if _, err := fmt.Fprintf(w, "  %-40s %s\n", def.Usage(), def.Doc); err != nil {
+			return err
+		}
+		for _, p := range def.Params {
+			if _, err := fmt.Fprintf(w, "      %s=%d..%d (%d)  %s\n", p.Key, p.Min, p.Max, p.Default, p.Doc); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "\nlegacy aliases: trail-stubborn (= stubborn:lead=1), eager-publish-<k> (= eager-publish:lead=<k>)")
+	return err
 }
 
 func experimentNames() []string {
 	return []string{
 		"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "table2",
-		"secvi", "diffablation", "strategies", "poolwars",
+		"secvi", "diffablation", "strategies", "poolwars", "tournament",
+		"bestresponse",
 	}
 }
 
-func emit(w io.Writer, name string, opts experiments.Options, csv bool) error {
-	tab, err := build(name, opts)
+func emit(w io.Writer, name string, opts experiments.Options, specs []sim.StrategySpec, csv bool) error {
+	tab, err := build(name, opts, specs)
 	if err != nil {
 		return err
 	}
@@ -100,7 +216,7 @@ func emit(w io.Writer, name string, opts experiments.Options, csv bool) error {
 	return tab.Render(w)
 }
 
-func build(name string, opts experiments.Options) (*table.Table, error) {
+func build(name string, opts experiments.Options, specs []sim.StrategySpec) (*table.Table, error) {
 	switch name {
 	case "table1":
 		return experiments.Table1(), nil
@@ -145,13 +261,25 @@ func build(name string, opts experiments.Options) (*table.Table, error) {
 		}
 		return result.Table(), nil
 	case "strategies":
-		result, err := experiments.Strategies(opts)
+		result, err := experiments.Strategies(opts, specs...)
 		if err != nil {
 			return nil, err
 		}
 		return result.Table(), nil
 	case "poolwars":
 		result, err := experiments.PoolWars(opts)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "tournament":
+		result, err := experiments.Tournament(opts, specs...)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "bestresponse":
+		result, err := experiments.BestResponse(opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"github.com/ethselfish/ethselfish/internal/experiments"
+	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
 func TestRunStaticExperiments(t *testing.T) {
@@ -49,15 +51,122 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Every experiment appears, including the new engines.
+	for _, name := range experimentNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing experiment %q", name)
+		}
+	}
+	// The strategy section is generated from the registry: names,
+	// parameter ranges, and defaults.
+	for _, want := range []string{
+		"stubborn[:lead=0..1,fork=0..1,trail=0..16]",
+		"eager-publish[:lead=2..1048576]",
+		"algorithm1",
+		"honest",
+		"trail=0..16 (0)",
+		"trail-stubborn (= stubborn:lead=1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-list", "fig8"}, &b); err == nil {
+		t.Error("-list with an experiment argument should fail")
+	}
+}
+
+func TestRunTournamentFromSpecStrings(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-quick", "-runs", "1", "-blocks", "2000",
+		"-strategies", "algorithm1,stubborn:lead=1,trail=2",
+		"tournament",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Tournament") {
+		t.Errorf("tournament output missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "stubborn:lead=1,trail=2") {
+		t.Errorf("tournament output missing the multi-parameter spec:\n%s", out)
+	}
+}
+
+func TestRunStrategiesFromSpecStrings(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-quick", "-runs", "1", "-blocks", "2000",
+		"-strategies", "honest,eager-publish-3",
+		"strategies",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The legacy alias is normalized to its canonical spec in the output.
+	if !strings.Contains(b.String(), "eager-publish:lead=3") {
+		t.Errorf("strategies output missing normalized spec:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsBadSpecStrings(t *testing.T) {
+	var b strings.Builder
+	for _, specs := range []string{"nonsense", "stubborn:lead=9", "stubborn:depth=1"} {
+		if err := run([]string{"-strategies", specs, "tournament"}, &b); err == nil {
+			t.Errorf("-strategies %q should fail before simulating", specs)
+		}
+	}
+	// A lone entrant is rejected up front, even for "all" — before the
+	// sweep burns through every earlier experiment.
+	for _, name := range []string{"tournament", "all"} {
+		err := run([]string{"-strategies", "honest", name}, &b)
+		if err == nil || !strings.Contains(err.Error(), "at least 2 specs") {
+			t.Errorf("%s with one spec: err = %v, want early entrant-count rejection", name, err)
+		}
+	}
+	// bestresponse searches a fixed grid; -strategies is rejected
+	// rather than silently ignored.
+	err := run([]string{"-strategies", "algorithm1,stubborn:trail=4", "bestresponse"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("bestresponse with -strategies: err = %v, want rejection", err)
+	}
+}
+
+func TestParseSpecList(t *testing.T) {
+	got, err := parseSpecList("algorithm1,stubborn:lead=1,trail=2,honest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.StrategySpec{
+		sim.MustStrategySpec("algorithm1"),
+		sim.MustStrategySpec("stubborn:lead=1,trail=2"),
+		sim.MustStrategySpec("honest"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseSpecList = %v, want %v", got, want)
+	}
+	if specs, err := parseSpecList(""); err != nil || specs != nil {
+		t.Errorf("empty list = %v, %v", specs, err)
+	}
+}
+
 func TestBuildAllNamesResolve(t *testing.T) {
 	// Every advertised experiment must resolve (analytic ones complete;
 	// simulation ones are exercised in quick mode elsewhere).
 	for _, name := range experimentNames() {
 		switch name {
-		case "fig8", "table2", "diffablation", "strategies":
+		case "fig8", "table2", "diffablation", "strategies", "tournament", "bestresponse":
 			continue // heavy: covered by TestRunQuickSimExperiment and package tests
 		}
-		if _, err := build(name, experiments.Quick()); err != nil {
+		if _, err := build(name, experiments.Quick(), nil); err != nil {
 			t.Errorf("build(%q): %v", name, err)
 		}
 	}
@@ -68,13 +177,14 @@ func TestRunAllQuick(t *testing.T) {
 		t.Skip("paper harness end-to-end run is slow")
 	}
 	var b strings.Builder
-	if err := run([]string{"-quick", "all"}, &b); err != nil {
+	if err := run([]string{"-quick", "-runs", "1", "-blocks", "4000", "all"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
 	for _, want := range []string{
 		"Table I", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10",
 		"Table II", "Sec. VI", "Difficulty-rule ablation", "Strategy comparison",
+		"Pool wars", "Tournament", "Best response",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("all output missing %q", want)

@@ -40,7 +40,7 @@ func run(args []string, w io.Writer) error {
 		uncleLimit = fs.Int("uncles", 0, "max uncles per block; 0 means unlimited (Ethereum: 2)")
 		miners     = fs.Int("miners", 0, "simulate n equal miners instead of two aggregate agents")
 		dump       = fs.String("dump", "", "write one run's full block tree as JSON to this file")
-		strategy   = fs.String("strategy", "algorithm1", "pool strategy: algorithm1, honest, trail-stubborn, eager-publish-<k>")
+		strategy   = fs.String("strategy", "algorithm1", "pool strategy spec: algorithm1, honest, stubborn:lead=L,fork=F,trail=T, eager-publish:lead=k (see `ethselfish -list`)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -37,6 +37,45 @@
 // attacker-vs-honest-control rows. The paper's setting is the K = 1
 // special case and is bit-identical to the pre-generalization engine.
 //
+// # The strategy space
+//
+// Strategies form a parameterized space named by specs — strings of the
+// grammar
+//
+//	name
+//	name:key=value,key=value,...
+//
+// parsed by sim.ParseStrategySpec and constructed through a registry of
+// sim.StrategyDefs (sim.RegisterStrategy adds new families; `ethselfish
+// -list` enumerates the space with parameter ranges). The built-in space:
+//
+//	algorithm1                              the paper's Algorithm 1 (Sec. III-C)
+//	honest                                  protocol-following control
+//	eager-publish:lead=k                    commit as soon as the private lead reaches k (k >= 2)
+//	stubborn:lead=L,fork=F,trail=T          the stubborn-mining family (Nayak et al.)
+//
+// The stubborn family composes three independent axes over Algorithm 1:
+// lead=1 declines the sure win at Ls = Lh + 1 (publishes only up to Lh and
+// races on), fork=1 keeps the tie-breaking block private instead of
+// committing it, and trail=T keeps mining while behind by at most T blocks
+// instead of adopting. The zero point of the family is exactly Algorithm 1.
+// The legacy names "trail-stubborn" (= stubborn:lead=1) and
+// "eager-publish-<k>" still parse as aliases.
+//
+// Every spec-built strategy passes the same validateReaction protocol gate
+// as the hand-written ones: committing without a longer branch, publishing
+// nonexistent blocks, or retracting announced blocks fails the run loudly.
+//
+// On top of the registry, two engines explore the space at scale:
+// experiments.Tournament plays every pair of specs as two equal-power
+// competing pools over an alpha grid (per-pool relative-revenue matrix,
+// round-robin scores), and experiments.BestResponse grid-searches the
+// stubborn family per (alpha, gamma) point under Fig. 8's schedule,
+// reporting the arg-max spec, the profitability thresholds, and the
+// dominance region where a stubborn variant strictly beats Algorithm 1
+// (empirically: high alpha with gamma >= 0.5, widening as gamma grows to 1;
+// at gamma = 0 Algorithm 1 is the best response everywhere).
+//
 // # Performance
 //
 // Paper-scale regeneration is embarrassingly parallel (10 independent runs

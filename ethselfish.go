@@ -3,8 +3,6 @@ package ethselfish
 import (
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"github.com/ethselfish/ethselfish/internal/core"
 	"github.com/ethselfish/ethselfish/internal/eyalsirer"
@@ -100,26 +98,21 @@ func defaultOptions() options {
 // ErrUnknownStrategy is returned by WithStrategy for unrecognized names.
 var ErrUnknownStrategy = errors.New("ethselfish: unknown strategy")
 
-// ParseStrategy resolves a strategy name for Simulate: "algorithm1" (the
-// paper's Algorithm 1), "honest" (control), "trail-stubborn", or
-// "eager-publish-<k>" with k >= 2.
+// ParseStrategy resolves a strategy spec for Simulate through the sim
+// registry: "algorithm1" (the paper's Algorithm 1), "honest" (control), the
+// parametric stubborn family ("stubborn:lead=1,trail=2"), "eager-publish"
+// with its lead trigger, plus the legacy aliases "trail-stubborn"
+// (= stubborn:lead=1) and "eager-publish-<k>". The empty string is
+// Algorithm 1.
 func ParseStrategy(name string) (sim.Strategy, error) {
-	switch {
-	case name == "" || name == "algorithm1":
+	if name == "" {
 		return sim.Algorithm1{}, nil
-	case name == "honest":
-		return sim.HonestStrategy{}, nil
-	case name == "trail-stubborn":
-		return sim.TrailStubborn{}, nil
-	case strings.HasPrefix(name, "eager-publish-"):
-		k, err := strconv.Atoi(strings.TrimPrefix(name, "eager-publish-"))
-		if err != nil || k < 2 {
-			return nil, fmt.Errorf("%w: %q (want eager-publish-<k>, k >= 2)", ErrUnknownStrategy, name)
-		}
-		return sim.EagerPublish{Lead: k}, nil
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, name)
 	}
+	s, err := sim.ParseStrategy(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownStrategy, name, err)
+	}
+	return s, nil
 }
 
 type strategyOption struct{ s sim.Strategy }

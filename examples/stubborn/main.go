@@ -1,7 +1,8 @@
 // stubborn explores the paper's stated future work — alternative mining
-// strategies — by racing the paper's Algorithm 1 against a trail-stubborn
-// variant (which declines the "sure win" at Ls = Lh+1 and keeps racing) and
-// an eager-publishing one, across pool sizes.
+// strategies — by racing the paper's Algorithm 1 against points of the
+// parametric stubborn family (lead-, equal-fork-, and trail-stubborn axes)
+// and an eager-publishing variant, across pool sizes. Strategies are named
+// by registry spec strings; `ethselfish -list` enumerates the space.
 //
 // Run with:
 //
@@ -27,12 +28,15 @@ func run() error {
 		blocks = 100000
 		runs   = 4
 	)
-	strategies := []string{"honest", "algorithm1", "eager-publish-2", "trail-stubborn"}
+	strategies := []string{
+		"honest", "algorithm1", "eager-publish:lead=2",
+		"stubborn:lead=1", "stubborn:fork=1,lead=1",
+	}
 
-	fmt.Println("simulated pool revenue by strategy (gamma=0.5, scenario 1)")
+	fmt.Println("simulated pool revenue by strategy spec (gamma=0.5, scenario 1)")
 	fmt.Printf("%-8s", "alpha")
 	for _, name := range strategies {
-		fmt.Printf(" %16s", name)
+		fmt.Printf(" %22s", name)
 	}
 	fmt.Println()
 
@@ -47,7 +51,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf(" %16.4f", result.PoolRevenue)
+			fmt.Printf(" %22.4f", result.PoolRevenue)
 			if result.PoolRevenue > bestRevenue {
 				best, bestRevenue = name, result.PoolRevenue
 			}
@@ -56,7 +60,8 @@ func run() error {
 	}
 
 	fmt.Println("\nsmall pools should stick to Algorithm 1; large pools gain even more")
-	fmt.Println("by trail-stubbornness — the risk of losing a lead-1 race is repaid by")
-	fmt.Println("the deeper races it sometimes wins, once alpha is large enough.")
+	fmt.Println("by stubbornness — declining the sure win (lead=1) and withholding the")
+	fmt.Println("tie-breaker (fork=1) are repaid by the deeper races they sometimes")
+	fmt.Println("win, once alpha and gamma are large enough.")
 	return nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/parallel"
 	"github.com/ethselfish/ethselfish/internal/sim"
@@ -33,10 +35,14 @@ func grid[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // be safe to call concurrently with other builders (it normally just fills
 // in literals). A nil pop means the classic two-agent population at alpha;
 // multi-pool drivers supply their own population and use alpha purely as
-// the point's seed key.
+// the point's seed key. Pool strategies are named by specs and resolved
+// through the sim registry (one spec per pool, in pool order); a nil specs
+// slice keeps whatever the builder configured (the engine's default is
+// Algorithm 1 everywhere).
 type simJob struct {
 	alpha float64
 	pop   *mining.Population
+	specs []sim.StrategySpec
 	build func(pop *mining.Population) sim.Config
 }
 
@@ -64,6 +70,16 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 		cfg := job.build(pop)
 		cfg.Population = pop
 		cfg.Blocks = opts.Blocks
+		if job.specs != nil {
+			// Strategy instances are pure frame functions, so one
+			// instance per job is safely shared by every worker that
+			// picks up the job's runs.
+			strategies, err := sim.NewStrategies(job.specs)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Strategies = strategies
+		}
 		configs[j] = cfg
 	}
 
@@ -91,13 +107,19 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 }
 
 // sweep materializes an inclusive arithmetic parameter sweep as a grid.
-// The values accumulate float error exactly as a `for v := start; v <=
-// max+1e-9; v += step` loop would, so grid points (and the seeds derived
-// from them) are bit-for-bit what the sequential drivers produced.
+// The point count is computed once (floored with an epsilon against the
+// representation error of (max-start)/step) and each value is an index
+// multiply, so repeated-addition drift can never gain or lose an endpoint:
+// a grid like 0.05..0.45 step 0.05 always has exactly 9 points and its
+// last point never overshoots max.
 func sweep(start, max, step float64) []float64 {
-	var out []float64
-	for v := start; v <= max+1e-9; v += step {
-		out = append(out, v)
+	n := 1 + int(math.Floor((max-start)/step+1e-9))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -80,5 +81,95 @@ func TestFig8ParallelMatchesSequential(t *testing.T) {
 func TestOptionsRejectNegativeParallelism(t *testing.T) {
 	if _, err := Fig8(Options{Parallelism: -2}); !errors.Is(err, ErrBadOptions) {
 		t.Errorf("got %v, want ErrBadOptions", err)
+	}
+}
+
+// TestSweepGridSizes pins sweep's point counts and endpoints: the count is
+// computed once by rounding, so float-accumulation drift can never gain or
+// lose a grid point.
+func TestSweepGridSizes(t *testing.T) {
+	tests := []struct {
+		start, max, step float64
+		n                int
+		last             float64
+	}{
+		{0.05, 0.45, 0.05, 9, 0.45},
+		{0.025, 0.45, 0.025, 18, 0.45},
+		{0, 1, 0.05, 21, 1},
+		{0, 1, 0.1, 11, 1},
+		{0.1, 0.9, 0.2, 5, 0.9},
+		// Non-dividing steps keep the last point at or below max.
+		{0, 1, 0.3, 4, 0.9},
+		{0, 1, 0.4, 3, 0.8},
+		// Degenerate single-point grids.
+		{0.3, 0.3, 0.1, 1, 0.3},
+		{0.5, 0.4, 0.1, 1, 0.5},
+	}
+	for _, tt := range tests {
+		got := sweep(tt.start, tt.max, tt.step)
+		if len(got) != tt.n {
+			t.Errorf("sweep(%v, %v, %v) has %d points, want %d: %v",
+				tt.start, tt.max, tt.step, len(got), tt.n, got)
+			continue
+		}
+		if got[0] != tt.start {
+			t.Errorf("sweep(%v, %v, %v) starts at %v", tt.start, tt.max, tt.step, got[0])
+		}
+		if math.Abs(got[len(got)-1]-tt.last) > 1e-12 {
+			t.Errorf("sweep(%v, %v, %v) ends at %v, want %v",
+				tt.start, tt.max, tt.step, got[len(got)-1], tt.last)
+		}
+		for i, v := range got {
+			if want := tt.start + float64(i)*tt.step; v != want {
+				t.Errorf("sweep(%v, %v, %v)[%d] = %v, want exact index multiply %v",
+					tt.start, tt.max, tt.step, i, v, want)
+			}
+		}
+	}
+}
+
+// TestRunSimGridResolvesSpecs pins the engine's registry plumbing: a job
+// carrying strategy specs must produce exactly what the same job produces
+// with the strategies constructed by hand.
+func TestRunSimGridResolvesSpecs(t *testing.T) {
+	opts := Options{Runs: 2, Blocks: 2000, Seed: 3, Parallelism: 2}
+	pop, err := mining.MultiAgent(0.25, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpecs, err := runSimGrid(opts, []simJob{{
+		alpha: 0.25,
+		pop:   pop,
+		specs: []sim.StrategySpec{
+			sim.MustStrategySpec("stubborn:lead=1"),
+			sim.MustStrategySpec("algorithm1"),
+		},
+		build: func(*mining.Population) sim.Config { return sim.Config{Gamma: 0.5} },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := runSimGrid(opts, []simJob{{
+		alpha: 0.25,
+		pop:   pop,
+		build: func(*mining.Population) sim.Config {
+			return sim.Config{Gamma: 0.5, Strategies: []sim.Strategy{
+				sim.Stubborn{Lead: true}, sim.Algorithm1{},
+			}}
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaSpecs, direct) {
+		t.Error("spec-resolved grid differs from hand-constructed strategies")
+	}
+
+	if _, err := runSimGrid(opts, []simJob{{
+		alpha: 0.2,
+		specs: []sim.StrategySpec{{Name: "nonsense"}},
+		build: func(*mining.Population) sim.Config { return sim.Config{Gamma: 0.5} },
+	}}); !errors.Is(err, sim.ErrBadSpec) {
+		t.Errorf("bad spec err = %v, want sim.ErrBadSpec", err)
 	}
 }

@@ -257,8 +257,8 @@ func TestStrategiesComparison(t *testing.T) {
 	if best := result.Best(len(result.Rows) - 1); best == "honest" {
 		t.Errorf("best strategy at alpha=0.45 = %q", best)
 	}
-	if !strings.Contains(result.Table().String(), "trail-stubborn") {
-		t.Error("table missing trail-stubborn column")
+	if !strings.Contains(result.Table().String(), "stubborn:lead=1") {
+		t.Error("table missing stubborn:lead=1 column")
 	}
 }
 

@@ -64,20 +64,22 @@ func PoolWars(opts Options) (PoolWarsResult, error) {
 		return PoolWarsResult{}, err
 	}
 
+	algorithm1 := sim.MustStrategySpec("algorithm1")
+	honest := sim.MustStrategySpec("honest")
 	type point struct {
 		alpha1, alpha2 float64
-		strategies     []sim.Strategy
+		specs          []sim.StrategySpec
 	}
 	var points []point
 	for _, alpha1 := range poolWarsAlphas {
 		for _, alpha2 := range poolWarsAlphas {
 			points = append(points, point{alpha1, alpha2,
-				[]sim.Strategy{sim.Algorithm1{}, sim.Algorithm1{}}})
+				[]sim.StrategySpec{algorithm1, algorithm1}})
 		}
 	}
 	for _, alpha1 := range poolWarsAlphas {
 		points = append(points, point{alpha1, poolWarsHeteroAlpha2,
-			[]sim.Strategy{sim.Algorithm1{}, sim.HonestStrategy{}}})
+			[]sim.StrategySpec{algorithm1, honest}})
 	}
 
 	jobs := make([]simJob, len(points))
@@ -86,13 +88,13 @@ func PoolWars(opts Options) (PoolWarsResult, error) {
 		if err != nil {
 			return PoolWarsResult{}, err
 		}
-		strategies := pt.strategies
-		hetero := strategies[1].Name() != (sim.Algorithm1{}).Name()
+		hetero := pt.specs[1].String() != algorithm1.String()
 		jobs[i] = simJob{
 			alpha: poolWarsSeedKey(pt.alpha1, pt.alpha2, hetero),
 			pop:   pop,
+			specs: pt.specs,
 			build: func(*mining.Population) sim.Config {
-				return sim.Config{Gamma: fig8Gamma, Strategies: strategies}
+				return sim.Config{Gamma: fig8Gamma}
 			},
 		}
 	}
@@ -113,8 +115,8 @@ func PoolWars(opts Options) (PoolWarsResult, error) {
 		row := PoolWarsRow{
 			Alpha1:    pt.alpha1,
 			Alpha2:    pt.alpha2,
-			Strategy1: pt.strategies[0].Name(),
-			Strategy2: pt.strategies[1].Name(),
+			Strategy1: pt.specs[0].String(),
+			Strategy2: pt.specs[1].String(),
 			Pool1:     s.AbsoluteOf(1, core.Scenario1).Mean(),
 			Pool2:     s.AbsoluteOf(2, core.Scenario1).Mean(),
 			Honest:    s.AbsoluteOf(mining.HonestPool, core.Scenario1).Mean(),

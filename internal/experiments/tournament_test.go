@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+func TestTournamentRoundRobin(t *testing.T) {
+	opts := Options{Runs: 2, Blocks: 20000, Seed: 9}
+	result, err := Tournament(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(defaultTournamentSpecs())
+	if len(result.Names) != n || len(result.Share) != n {
+		t.Fatalf("matrix shape %d names x %d rows, want %d", len(result.Names), len(result.Share), n)
+	}
+	pairs := n * (n + 1) / 2
+	if want := pairs * len(tournamentAlphas); len(result.Matches) != want {
+		t.Fatalf("%d matches, want %d", len(result.Matches), want)
+	}
+	for i := range result.Share {
+		if len(result.Share[i]) != n {
+			t.Fatalf("row %d has %d cells", i, len(result.Share[i]))
+		}
+		for j, share := range result.Share[i] {
+			if share <= 0 || share >= 1 {
+				t.Errorf("share[%d][%d] = %v out of (0, 1)", i, j, share)
+			}
+		}
+	}
+	// The honest control cannot win a field that includes Algorithm 1 at
+	// alphas above the profitability threshold.
+	if result.Winner() == "honest" {
+		t.Error("honest control won the tournament")
+	}
+	// Two honest pools split the chain by power: each earns its alpha as
+	// relative share, within noise.
+	honestIdx := -1
+	for i, name := range result.Names {
+		if name == "honest" {
+			honestIdx = i
+		}
+	}
+	if honestIdx < 0 {
+		t.Fatal("default field lost its honest entrant")
+	}
+	var meanAlpha float64
+	for _, a := range result.Alphas {
+		meanAlpha += a
+	}
+	meanAlpha /= float64(len(result.Alphas))
+	if got := result.Share[honestIdx][honestIdx]; math.Abs(got-meanAlpha) > 0.02 {
+		t.Errorf("honest self-play share %v, want ~%v", got, meanAlpha)
+	}
+	if !strings.Contains(result.Table().String(), "Tournament") {
+		t.Error("table missing title")
+	}
+	if result.MatchTable().NumRows() != len(result.Matches) {
+		t.Error("match table row count mismatch")
+	}
+}
+
+func TestTournamentCustomSpecsAndErrors(t *testing.T) {
+	opts := Options{Runs: 1, Blocks: 5000, Seed: 2}
+	result, err := Tournament(opts,
+		sim.MustStrategySpec("algorithm1"),
+		sim.MustStrategySpec("stubborn:lead=1"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Names) != 2 || result.Names[1] != "stubborn:lead=1" {
+		t.Fatalf("names = %v", result.Names)
+	}
+	if _, err := Tournament(opts, sim.MustStrategySpec("algorithm1")); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("single-entrant err = %v, want ErrBadOptions", err)
+	}
+	if _, err := Tournament(opts, sim.StrategySpec{Name: "nope"}, sim.StrategySpec{Name: "nope"}); !errors.Is(err, sim.ErrBadSpec) {
+		t.Errorf("unknown spec err = %v, want sim.ErrBadSpec", err)
+	}
+}
+
+// TestTournamentParallelMatchesSequential extends the engine's determinism
+// contract to the tournament driver with parametric strategies in play;
+// under -race it doubles as the data-race check for the registry path.
+func TestTournamentParallelMatchesSequential(t *testing.T) {
+	base := Options{Runs: 2, Blocks: 2000, Seed: 5}
+	specs := []sim.StrategySpec{
+		sim.MustStrategySpec("algorithm1"),
+		sim.MustStrategySpec("stubborn:fork=1,lead=1"),
+		sim.MustStrategySpec("stubborn:trail=2"),
+	}
+
+	seq := base
+	seq.Parallelism = 1
+	sequential, err := Tournament(seq, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Parallelism = 8
+	parallel, err := Tournament(par, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Error("Tournament parallel result differs from sequential")
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/chain"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/rng"
+)
+
+// FuzzValidateReaction pins the protocol gate every strategy decision
+// passes through: for any representable race frame, validateReaction must
+// accept exactly the legal reactions, and an accepted reaction must never
+// commit a non-leading branch, publish blocks that do not exist, or retract
+// announced ones.
+func FuzzValidateReaction(f *testing.F) {
+	f.Add(0, false, false, 3, 1, 0)
+	f.Add(2, true, false, 2, 1, 1)
+	f.Add(1, false, true, 1, 2, 0)
+	f.Add(3, false, false, 3, 2, 2)
+	f.Add(1, false, false, 3, 1, 2) // un-publish attempt
+	f.Add(4, false, false, 3, 1, 0) // publish beyond the branch
+	f.Add(0, true, true, 3, 1, 0)   // commit and adopt
+	f.Fuzz(func(t *testing.T, publishTo int, commit, adopt bool, ls, lh, published int) {
+		if ls < 0 || lh < 0 || published < 0 || published > ls {
+			t.Skip("not a representable race frame")
+		}
+		r := Reaction{PublishTo: publishTo, Commit: commit, Adopt: adopt}
+		err := validateReaction(r, ls, lh, published)
+		legal := !(commit && adopt) &&
+			!(commit && ls <= lh) &&
+			publishTo <= ls &&
+			(publishTo == 0 || publishTo >= published)
+		if (err == nil) != legal {
+			t.Fatalf("validateReaction(%+v, ls=%d, lh=%d, published=%d) err=%v, legality=%v",
+				r, ls, lh, published, err, legal)
+		}
+		if err != nil && !errors.Is(err, ErrBadReaction) {
+			t.Fatalf("error %v does not wrap ErrBadReaction", err)
+		}
+		if err == nil && commit && ls <= lh {
+			t.Fatal("accepted commit of a non-leading branch")
+		}
+	})
+}
+
+// randomReactor is a strategy that draws a uniformly random *legal*
+// reaction at every decision point. It deliberately breaks the
+// "deterministic function of the frame" contract (it owns a generator), so
+// it lives in tests only: the point is to push the simulator through race
+// trajectories no designed strategy visits.
+type randomReactor struct {
+	r *rng.Source
+}
+
+func (s *randomReactor) Name() string { return "random-legal" }
+
+func (s *randomReactor) ReactToPool(ls, lh, published int) Reaction {
+	return s.react(ls, lh, published)
+}
+
+func (s *randomReactor) ReactToHonest(ls, lh, published int) Reaction {
+	return s.react(ls, lh, published)
+}
+
+func (s *randomReactor) react(ls, lh, published int) Reaction {
+	switch s.r.Intn(4) {
+	case 0:
+		return Reaction{}
+	case 1:
+		return Reaction{Adopt: true}
+	case 2:
+		if ls > lh {
+			return Reaction{Commit: true}
+		}
+		return Reaction{}
+	default:
+		if ls == published {
+			return Reaction{}
+		}
+		// Any prefix from the announced count up to the whole branch.
+		return Reaction{PublishTo: published + s.r.Intn(ls-published+1)}
+	}
+}
+
+// FuzzRandomLegalStrategySimulation is the randomized-strategy property
+// test: a simulator driven by arbitrary legal reactions (any pool count,
+// alpha, gamma) must never error, must settle exactly at the consensus
+// floor (never past it), and must conserve blocks — every minted block is
+// settled as regular, uncle, or stale.
+func FuzzRandomLegalStrategySimulation(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(30), uint8(128), uint8(1), uint16(2000))
+	f.Add(uint64(7), uint64(11), uint8(45), uint8(0), uint8(2), uint16(1500))
+	f.Add(uint64(42), uint64(43), uint8(60), uint8(255), uint8(3), uint16(900))
+	f.Add(uint64(99), uint64(5), uint8(10), uint8(64), uint8(2), uint16(400))
+	f.Fuzz(func(t *testing.T, seed, strategySeed uint64, alphaByte, gammaByte, poolsByte uint8, blocksWord uint16) {
+		pools := 1 + int(poolsByte)%3
+		totalAlpha := 0.10 + float64(alphaByte%50)/100 // 0.10 .. 0.59
+		alphas := make([]float64, pools)
+		for i := range alphas {
+			alphas[i] = totalAlpha / float64(pools)
+		}
+		pop, err := mining.MultiAgent(alphas...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strategies := make([]Strategy, pools)
+		for i := range strategies {
+			strategies[i] = &randomReactor{r: rng.New(strategySeed + uint64(i))}
+		}
+		cfg := Config{
+			Population: pop,
+			Gamma:      float64(gammaByte) / 255,
+			Blocks:     200 + int(blocksWord)%4000,
+			Seed:       seed,
+			Strategies: strategies,
+		}.withDefaults()
+		if err := cfg.validate(); err != nil {
+			t.Fatal(err)
+		}
+
+		var s simulator
+		s.init(cfg)
+		result, err := settleRun(&s)
+		if err != nil {
+			t.Fatalf("random legal reactions errored: %v", err)
+		}
+
+		// Settlement happens exactly at the consensus floor: the floor is
+		// an ancestor of the public tip and of every live pool branch, and
+		// the regular chain is precisely the chain down from the floor.
+		floor := s.consensusFloor()
+		onChainOf := func(tip chain.BlockID) bool {
+			return tip == floor || s.tree.IsAncestor(floor, tip)
+		}
+		if !onChainOf(s.pubTip) {
+			t.Error("consensus floor is not on the public tip's chain")
+		}
+		for i := range s.pools {
+			if !onChainOf(s.pools[i].tip()) {
+				t.Errorf("consensus floor is not on pool %d's branch", i+1)
+			}
+		}
+		if got, want := result.RegularCount, s.tree.HeightOf(floor); got != want {
+			t.Errorf("settled %d regular blocks, want the floor height %d", got, want)
+		}
+
+		// Block conservation: regular + uncle + stale = minted. One block
+		// is minted per event, plus genesis (which is never settled).
+		minted := s.tree.Len() - 1
+		if minted != cfg.Blocks {
+			t.Errorf("minted %d blocks over %d events", minted, cfg.Blocks)
+		}
+		if got := result.RegularCount + result.UncleCount + result.StaleCount; got != minted {
+			t.Errorf("settled classes sum to %d, want %d (r=%d u=%d s=%d)",
+				got, minted, result.RegularCount, result.UncleCount, result.StaleCount)
+		}
+
+		// Occupancy conservation: every pool observes its frame once per
+		// event.
+		for i, occ := range result.OccupancyByPool {
+			var total int64
+			for _, n := range occ {
+				total += n
+			}
+			if total != int64(cfg.Blocks) {
+				t.Errorf("pool %d occupancy sums to %d over %d events", i+1, total, cfg.Blocks)
+			}
+		}
+	})
+}

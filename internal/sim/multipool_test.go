@@ -28,7 +28,7 @@ func multiAgent(t *testing.T, alphas ...float64) *mining.Population {
 // path to the pre-refactor engine.
 func TestSinglePoolEquivalenceSweep(t *testing.T) {
 	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4, 0.45} {
-		for _, strat := range []Strategy{nil, TrailStubborn{}, EagerPublish{Lead: 3}} {
+		for _, strat := range []Strategy{nil, Stubborn{Lead: true}, EagerPublish{Lead: 3}} {
 			cfg := Config{
 				Population: twoAgent(t, alpha),
 				Gamma:      0.5,

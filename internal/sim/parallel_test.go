@@ -131,7 +131,7 @@ func TestRunnerReuseMatchesFreshRuns(t *testing.T) {
 		{Population: twoPools, Gamma: 0.5, Blocks: 6000, Seed: 4},
 		{Population: two, Gamma: 0, Blocks: 5000, Seed: 1, MaxUnclesPerBlock: 2},
 		{Population: threePools, Gamma: 0.5, Blocks: 4000, Seed: 5,
-			Strategies: []Strategy{Algorithm1{}, HonestStrategy{}, TrailStubborn{}}},
+			Strategies: []Strategy{Algorithm1{}, HonestStrategy{}, Stubborn{Lead: true}}},
 		{Population: thousand, Gamma: 1, Blocks: 2000, Seed: 3},
 		{Population: twoPools, Gamma: 1, Blocks: 3000, Seed: 6, MaxUnclesPerBlock: 2},
 		// Repeat the first configuration: the runner's storage has been

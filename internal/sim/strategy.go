@@ -9,7 +9,9 @@ import (
 // future work and cites stubborn mining (Nayak et al.) as the natural
 // direction. This file generalizes the pool's behavior into a Strategy so
 // variants can be simulated on the same substrate: the default is exactly
-// Algorithm 1; the variants below explore the neighboring design space.
+// Algorithm 1; the parametric Stubborn family and the EagerPublish variant
+// below explore the neighboring design space, and spec.go names every
+// point of it ("stubborn:lead=1,trail=2") through a registry.
 
 // Reaction is the pool's decision at one of its two decision points. The
 // zero value means "keep mining" (no publication, no reset).
@@ -136,8 +138,9 @@ type EagerPublish struct {
 
 var _ Strategy = EagerPublish{}
 
-// Name implements Strategy.
-func (s EagerPublish) Name() string { return fmt.Sprintf("eager-publish-%d", s.Lead) }
+// Name implements Strategy: the canonical spec string, parseable by
+// ParseStrategy.
+func (s EagerPublish) Name() string { return fmt.Sprintf("eager-publish:lead=%d", s.Lead) }
 
 // ReactToPool implements Strategy.
 func (s EagerPublish) ReactToPool(ls, lh, published int) Reaction {
@@ -156,26 +159,98 @@ func (s EagerPublish) ReactToHonest(ls, lh, published int) Reaction {
 	return Algorithm1{}.ReactToHonest(ls, lh, published)
 }
 
-// TrailStubborn keeps one block private where Algorithm 1 would take the
-// sure win (Ls = Lh + 1 after an honest block), racing on for a bigger
-// payoff — a trail-stubborn variant in the sense of Nayak et al.
-type TrailStubborn struct{}
+// Stubborn is the parametric stubborn-mining family (Nayak et al., "Stubborn
+// Mining", EuroS&P 2016), generalizing Algorithm 1 along three independent
+// axes. The zero value makes exactly Algorithm 1's decisions in every state
+// Algorithm 1 can reach.
+//
+//   - Lead (lead-stubborn): at Ls = Lh + 1 after the public chain advances,
+//     Algorithm 1 commits — the sure win. A lead-stubborn pool publishes
+//     only up to Lh, keeping its newest block private and the race alive
+//     for a bigger payoff.
+//   - EqualFork (equal-fork-stubborn): when the pool mines the tie-breaking
+//     block of a level race (Ls = Lh + 1 with published = Lh), Algorithm 1
+//     commits; an equal-fork-stubborn pool keeps the fresh block private
+//     and keeps racing.
+//   - Trail (trail-stubborn depth): when the pool falls behind a nonempty
+//     private branch, Algorithm 1 adopts immediately; a trail-stubborn pool
+//     keeps mining while Lh - Ls <= Trail, adopting only when it falls
+//     further behind — and levels the race by publishing if it catches
+//     back up.
+//
+// The registry name for the family is "stubborn" (spec parameters lead,
+// fork, trail); the legacy name "trail-stubborn" maps to stubborn:lead=1,
+// the lead-stubborn point this codebase historically shipped under that
+// name.
+type Stubborn struct {
+	// Lead declines the sure win at Ls = Lh + 1, racing on instead.
+	Lead bool
 
-var _ Strategy = TrailStubborn{}
+	// EqualFork keeps the tie-breaking block private instead of
+	// committing it.
+	EqualFork bool
 
-// Name implements Strategy.
-func (TrailStubborn) Name() string { return "trail-stubborn" }
-
-// ReactToPool implements Strategy: same tie-winning rule as Algorithm 1.
-func (TrailStubborn) ReactToPool(ls, lh, published int) Reaction {
-	return Algorithm1{}.ReactToPool(ls, lh, published)
+	// Trail is how many blocks behind the pool tolerates before
+	// abandoning its private branch.
+	Trail int
 }
 
-// ReactToHonest implements Strategy: at Ls = Lh + 1 publish only up to the
-// public length, keeping the last block private and the race alive.
-func (TrailStubborn) ReactToHonest(ls, lh, published int) Reaction {
-	if ls == lh+1 && lh >= 1 {
-		return Reaction{PublishTo: lh}
+var _ Strategy = Stubborn{}
+
+// Name implements Strategy: the canonical spec string ("stubborn" with the
+// non-default parameters in sorted key order), parseable by ParseStrategy.
+func (s Stubborn) Name() string {
+	spec := StrategySpec{Name: "stubborn"}
+	if s.Lead || s.EqualFork || s.Trail != 0 {
+		spec.Params = make(map[string]int)
+		if s.EqualFork {
+			spec.Params["fork"] = 1
+		}
+		if s.Lead {
+			spec.Params["lead"] = 1
+		}
+		if s.Trail != 0 {
+			spec.Params["trail"] = s.Trail
+		}
 	}
-	return Algorithm1{}.ReactToHonest(ls, lh, published)
+	return spec.String()
+}
+
+// ReactToPool implements Strategy. The tie-win rule is Algorithm 1's unless
+// equal-fork-stubbornness withholds the fresh block; the catch-up rule
+// (publish a level race after trailing) only triggers on states trail-
+// stubbornness makes reachable.
+func (s Stubborn) ReactToPool(ls, lh, published int) Reaction {
+	if lh >= 1 && ls == lh+1 && published == lh {
+		if s.EqualFork {
+			return Reaction{}
+		}
+		return Reaction{Commit: true}
+	}
+	if lh >= 1 && ls == lh && published < ls {
+		// Caught back up from behind: level the race so honest miners
+		// can tie-break onto the recovered branch.
+		return Reaction{PublishTo: ls}
+	}
+	return Reaction{}
+}
+
+// ReactToHonest implements Strategy.
+func (s Stubborn) ReactToHonest(ls, lh, published int) Reaction {
+	switch {
+	case ls < lh:
+		if ls > 0 && lh-ls <= s.Trail {
+			return Reaction{} // trail-stubborn: keep the branch alive
+		}
+		return Reaction{Adopt: true}
+	case ls == lh:
+		return Reaction{PublishTo: ls} // race the tie
+	case ls == lh+1:
+		if s.Lead && lh >= 1 {
+			return Reaction{PublishTo: lh} // decline the sure win
+		}
+		return Reaction{Commit: true}
+	default:
+		return Reaction{PublishTo: published + 1}
+	}
 }

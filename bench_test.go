@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/experiments"
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/sim"
@@ -249,6 +250,52 @@ func BenchmarkSimulator100kBlocks2PoolsStubborn(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100000, "blocks/op")
+}
+
+func BenchmarkSimulator100kBlocksEIP100(b *testing.B) {
+	// The continuous-time engine with the EIP100 difficulty feedback loop
+	// closed: one extra exponential draw per event (dedicated stream), a
+	// per-event settled-floor observation, and per-block controller
+	// stepping. All three performance invariants must survive the time
+	// axis — O(1) per event, allocation-free steady state, and the
+	// timeless path untouched (pinned separately by TestGoldenTimeless).
+	b.ReportAllocs()
+	pop, err := mining.TwoAgent(0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := sim.Run(sim.Config{
+			Population: pop,
+			Gamma:      0.5,
+			Blocks:     100000,
+			Seed:       uint64(i),
+			Time: sim.TimeConfig{
+				Enabled:    true,
+				Difficulty: difficulty.Params{Rule: difficulty.EIP100},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.RegularCount == 0 || result.Elapsed <= 0 {
+			b.Fatal("degenerate timed run")
+		}
+	}
+	b.ReportMetric(100000, "blocks/op")
+}
+
+func BenchmarkProfitability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		result, err := experiments.Profitability(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(result.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
 }
 
 func BenchmarkTournament(b *testing.B) {

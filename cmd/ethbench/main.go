@@ -30,6 +30,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/experiments"
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/sim"
@@ -142,6 +143,32 @@ func benchmarks() []benchmark {
 				}
 			}
 		}},
+		{name: "sim-100k-blocks-eip100", run: func(b *testing.B, parallel int) {
+			// The continuous-time engine with the difficulty feedback
+			// loop closed: exponential inter-arrival sampling, per-block
+			// timestamps, and per-settled-block EIP100 stepping. Must
+			// stay allocation-free in steady state and within a small
+			// factor of the timeless 100k bench.
+			pop, err := mining.TwoAgent(0.35)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     100000,
+					Seed:       uint64(i),
+					Time: sim.TimeConfig{
+						Enabled:    true,
+						Difficulty: difficulty.Params{Rule: difficulty.EIP100},
+					},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{name: "runmany-10x20k", run: func(b *testing.B, parallel int) {
 			pop, err := mining.TwoAgent(0.35)
 			if err != nil {
@@ -192,6 +219,17 @@ func benchmarks() []benchmark {
 			opts.Parallelism = parallel
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.PoolWars(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "profitability-quick", run: func(b *testing.B, parallel int) {
+			// The (rule x gamma x alpha) profitability grid on the
+			// engine-integrated difficulty loop.
+			opts := experiments.Quick()
+			opts.Parallelism = parallel
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Profitability(opts); err != nil {
 					b.Fatal(err)
 				}
 			}

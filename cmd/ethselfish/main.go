@@ -8,7 +8,8 @@
 //	ethselfish [flags] <experiment>
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, table2, secvi,
-// diffablation, strategies, poolwars, tournament, bestresponse, all.
+// diffablation, strategies, poolwars, tournament, bestresponse,
+// profitability, all.
 //
 // Flags:
 //
@@ -23,6 +24,9 @@
 //	               "algorithm1,stubborn:lead=1,trail-stubborn") for the
 //	               strategies and tournament experiments (bestresponse
 //	               searches its own fixed candidate grid)
+//	-rule R        comma-separated difficulty rules (static, bitcoin,
+//	               eip100) restricting the profitability experiment's rule
+//	               axis (default: all three)
 //	-list          enumerate experiments and registered strategy specs
 //	-csv           emit CSV instead of aligned text
 package main
@@ -34,6 +38,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/experiments"
 	"github.com/ethselfish/ethselfish/internal/sim"
 	"github.com/ethselfish/ethselfish/internal/table"
@@ -55,6 +60,7 @@ func run(args []string, w io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "base RNG seed")
 		parallel   = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
 		strategies = fs.String("strategies", "", "comma-separated strategy specs for strategies/tournament (not bestresponse)")
+		rule       = fs.String("rule", "", "comma-separated difficulty rules for profitability (static, bitcoin, eip100)")
 		list       = fs.Bool("list", false, "list experiments and registered strategy specs")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
@@ -99,8 +105,15 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	rules, err := parseRuleList(*rule)
+	if err != nil {
+		return err
+	}
 
 	name := fs.Arg(0)
+	if len(rules) > 0 && name != "profitability" && name != "all" {
+		return fmt.Errorf("-rule only applies to the profitability experiment")
+	}
 	// The tournament needs a field of at least two entrants; reject a
 	// lone spec before any simulation runs (an "all" sweep would
 	// otherwise burn through every earlier experiment first). And
@@ -114,7 +127,7 @@ func run(args []string, w io.Writer) error {
 	}
 	if name == "all" {
 		for _, exp := range experimentNames() {
-			if err := emit(w, exp, opts, specs, *csv); err != nil {
+			if err := emit(w, exp, opts, specs, rules, *csv); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintln(w); err != nil {
@@ -123,7 +136,24 @@ func run(args []string, w io.Writer) error {
 		}
 		return nil
 	}
-	return emit(w, name, opts, specs, *csv)
+	return emit(w, name, opts, specs, rules, *csv)
+}
+
+// parseRuleList parses a comma-separated list of difficulty rule names,
+// failing before any simulation starts.
+func parseRuleList(s string) ([]difficulty.Rule, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rules []difficulty.Rule
+	for _, frag := range strings.Split(s, ",") {
+		rule, err := difficulty.ParseRule(strings.TrimSpace(frag))
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
 }
 
 // parseSpecList parses a comma-separated list of strategy specs, validating
@@ -201,12 +231,12 @@ func experimentNames() []string {
 	return []string{
 		"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "table2",
 		"secvi", "diffablation", "strategies", "poolwars", "tournament",
-		"bestresponse",
+		"bestresponse", "profitability",
 	}
 }
 
-func emit(w io.Writer, name string, opts experiments.Options, specs []sim.StrategySpec, csv bool) error {
-	tab, err := build(name, opts, specs)
+func emit(w io.Writer, name string, opts experiments.Options, specs []sim.StrategySpec, rules []difficulty.Rule, csv bool) error {
+	tab, err := build(name, opts, specs, rules)
 	if err != nil {
 		return err
 	}
@@ -216,7 +246,7 @@ func emit(w io.Writer, name string, opts experiments.Options, specs []sim.Strate
 	return tab.Render(w)
 }
 
-func build(name string, opts experiments.Options, specs []sim.StrategySpec) (*table.Table, error) {
+func build(name string, opts experiments.Options, specs []sim.StrategySpec, rules []difficulty.Rule) (*table.Table, error) {
 	switch name {
 	case "table1":
 		return experiments.Table1(), nil
@@ -280,6 +310,12 @@ func build(name string, opts experiments.Options, specs []sim.StrategySpec) (*ta
 		return result.Table(), nil
 	case "bestresponse":
 		result, err := experiments.BestResponse(opts)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "profitability":
+		result, err := experiments.Profitability(opts, rules...)
 		if err != nil {
 			return nil, err
 		}

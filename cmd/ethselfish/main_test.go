@@ -163,10 +163,11 @@ func TestBuildAllNamesResolve(t *testing.T) {
 	// simulation ones are exercised in quick mode elsewhere).
 	for _, name := range experimentNames() {
 		switch name {
-		case "fig8", "table2", "diffablation", "strategies", "tournament", "bestresponse":
+		case "fig8", "table2", "diffablation", "strategies", "tournament",
+			"bestresponse", "profitability":
 			continue // heavy: covered by TestRunQuickSimExperiment and package tests
 		}
-		if _, err := build(name, experiments.Quick(), nil); err != nil {
+		if _, err := build(name, experiments.Quick(), nil, nil); err != nil {
 			t.Errorf("build(%q): %v", name, err)
 		}
 	}
@@ -184,10 +185,35 @@ func TestRunAllQuick(t *testing.T) {
 	for _, want := range []string{
 		"Table I", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10",
 		"Table II", "Sec. VI", "Difficulty-rule ablation", "Strategy comparison",
-		"Pool wars", "Tournament", "Best response",
+		"Pool wars", "Tournament", "Best response", "Profitability",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("all output missing %q", want)
 		}
+	}
+}
+
+func TestRunProfitabilityRuleFlag(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-quick", "-runs", "1", "-blocks", "3000",
+		"-rule", "eip100,bitcoin", "profitability",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "eip100") || !strings.Contains(out, "bitcoin-style") {
+		t.Errorf("profitability output missing requested rules:\n%s", out)
+	}
+	if strings.Contains(out, "static") {
+		t.Errorf("profitability output contains unrequested static rule:\n%s", out)
+	}
+	// Bad rules and misplaced -rule fail before any simulation.
+	if err := run([]string{"-rule", "bogus", "profitability"}, &b); err == nil {
+		t.Error("-rule bogus should fail")
+	}
+	if err := run([]string{"-rule", "eip100", "fig8"}, &b); err == nil {
+		t.Error("-rule with a non-profitability experiment should fail")
 	}
 }

@@ -76,6 +76,37 @@
 // (empirically: high alpha with gamma >= 0.5, widening as gamma grows to 1;
 // at gamma = 0 Algorithm 1 is the best response everywhere).
 //
+// # Absolute vs relative revenue: the time axis
+//
+// The block-count experiments measure relative revenue — the pool's share
+// of settled rewards. A share above alpha is not yet profit: selfish
+// mining discards work, so before the protocol reacts the pool earns fewer
+// rewards per second than honest mining would, and the attack only starts
+// to pay once difficulty adjustment compresses the time axis (Grunspan &
+// Pérez-Marco, arXiv:1904.13330; Ritz & Zugenmaier, arXiv:1805.08832).
+//
+// sim.Config.Time enables a continuous-time axis over the same engine:
+// block events arrive with exponential inter-arrival times at rate
+// 1/difficulty, every block carries a timestamp (chain.Tree.TimeOf), and
+// an optional difficulty.Controller closes the feedback loop inside the
+// engine — every block the consensus floor settles is fed back with its
+// real timestamp and its actually referenced uncles, counted off the tree.
+// Three regimes: Static (constant difficulty), BitcoinStyle (uncle-blind
+// epoch retargeting, pre-Byzantium), and EIP100 (per-block adjustment on
+// the regular-plus-uncle rate, Byzantium). sim.Result reports elapsed and
+// settled time, the difficulty trajectory, per-pool absolute reward rates
+// (RateOf, rewards per unit time), and two windows of the settled chain —
+// Early (before the first adjustment) and Steady (the converged trailing
+// half) — whose comparison is exactly the profitability crossover
+// experiments.Profitability sweeps over (alpha, gamma) x rule.
+//
+// The time axis is an overlay: it draws from a dedicated second RNG
+// stream, so a timed run's block tree is bit-identical to the timeless run
+// at the same seed, and the timeless path is pinned bit-for-bit against
+// the pre-time engine. difficulty.PredictedRewardRate remains the
+// closed-form steady-state oracle the engine loop is cross-validated
+// against (the diffablation experiment).
+//
 // # Performance
 //
 // Paper-scale regeneration is embarrassingly parallel (10 independent runs

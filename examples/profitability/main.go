@@ -1,0 +1,78 @@
+// Profitability: does selfish mining actually pay, in rewards per second?
+//
+// Relative revenue above alpha is not profit — it only becomes profit once
+// difficulty adjustment compresses the time axis. This example puts an
+// alpha = 0.33 pool on the continuous-time engine and compares its
+// absolute reward rate before and after the difficulty rule reacts, under
+// the pre-Byzantium (uncle-blind, Bitcoin-style) rule and Byzantium's
+// EIP100 (uncle-counting) rule.
+//
+// Run with:
+//
+//	go run ./examples/profitability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ethselfish/ethselfish/internal/difficulty"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		alpha  = 1.0 / 3 // the pool's hash-power share
+		gamma  = 0.5     // uniform tie-breaking
+		blocks = 100000
+		runs   = 8
+	)
+	pop, err := mining.TwoAgent(alpha)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("alpha=%.3f pool; honest mining would earn %.4f rewards per unit time\n\n", alpha, alpha)
+	fmt.Printf("%-14s %16s %16s %16s %10s\n",
+		"rule", "early (pre-adj)", "steady (adj'd)", "final difficulty", "pays?")
+	for _, rule := range []difficulty.Rule{difficulty.BitcoinStyle, difficulty.EIP100} {
+		series, err := sim.RunMany(sim.Config{
+			Population: pop,
+			Gamma:      gamma,
+			Blocks:     blocks,
+			Seed:       7,
+			Time: sim.TimeConfig{
+				Enabled:    true,
+				Difficulty: difficulty.Params{Rule: rule},
+			},
+		}, runs)
+		if err != nil {
+			return err
+		}
+		early := series.EarlyRateOf(1)
+		steady := series.SteadyRateOf(1)
+		diff := series.Mean(func(r sim.Result) float64 { return r.FinalDifficulty })
+		pays := "no"
+		if steady.Mean() > alpha {
+			pays = "yes"
+		}
+		fmt.Printf("%-14v %8.4f+-%.4f %8.4f+-%.4f %16.4f %10s\n",
+			rule, early.Mean(), early.StdErr(), steady.Mean(), steady.StdErr(), diff.Mean(), pays)
+	}
+
+	fmt.Println()
+	fmt.Println("Before the first retarget the pool earns less than its honest-")
+	fmt.Println("equivalent rate: orphaned blocks repay at most uncle rewards.")
+	fmt.Println("Once the uncle-blind rule drops difficulty to restore the main-")
+	fmt.Println("chain rate, the whole time axis compresses and the attack pays")
+	fmt.Println("decisively; EIP100 counts the attack's own uncles against it, so")
+	fmt.Println("the crossover shrinks to a sliver at this alpha.")
+	return nil
+}

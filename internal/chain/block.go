@@ -39,9 +39,13 @@ type Block struct {
 	// Miner produced the block.
 	Miner MinerID
 
-	// Seq is the global creation sequence number (genesis is 0);
-	// it stands in for the timestamp.
+	// Seq is the global creation sequence number (genesis is 0); it
+	// stands in for the timestamp in timeless runs.
 	Seq int
+
+	// Time is the block's timestamp: the simulation clock at its creation
+	// event. Timeless runs leave it zero for every block.
+	Time float64
 
 	// Uncles lists the stale blocks this block references.
 	Uncles []BlockID

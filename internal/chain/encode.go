@@ -32,6 +32,7 @@ type blockJSON struct {
 	Parent BlockID   `json:"parent"`
 	Height int       `json:"height"`
 	Miner  MinerID   `json:"miner"`
+	Time   float64   `json:"time,omitempty"`
 	Uncles []BlockID `json:"uncles,omitempty"`
 }
 
@@ -55,6 +56,7 @@ func (t *Tree) Encode(w io.Writer) error {
 			Parent: b.Parent,
 			Height: b.Height,
 			Miner:  b.Miner,
+			Time:   b.Time,
 			Uncles: b.Uncles,
 		})
 	}
@@ -90,7 +92,7 @@ func Decode(r io.Reader) (*Tree, error) {
 		if b.ID != wantID {
 			return nil, fmt.Errorf("%w: block %d out of order (id %d)", ErrDecode, i+1, b.ID)
 		}
-		id, err := tree.Extend(b.Parent, b.Miner, b.Uncles)
+		id, err := tree.ExtendAt(b.Parent, b.Miner, b.Uncles, b.Time)
 		if err != nil {
 			return nil, fmt.Errorf("%w: block %d: %v", ErrDecode, i+1, err)
 		}

@@ -105,3 +105,27 @@ func TestEncodeStableOutput(t *testing.T) {
 		t.Error("missing version field")
 	}
 }
+
+func TestEncodeDecodeRoundTripTimestamps(t *testing.T) {
+	tree := NewTree(Config{MaxUncleDepth: 6}, 0)
+	a, err := tree.ExtendAt(tree.Genesis(), 1, nil, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.ExtendAt(a, 2, nil, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < tree.Len(); id++ {
+		if got, want := decoded.TimeOf(BlockID(id)), tree.TimeOf(BlockID(id)); got != want {
+			t.Errorf("block %d: decoded time %v, want %v", id, got, want)
+		}
+	}
+}

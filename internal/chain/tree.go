@@ -77,6 +77,14 @@ type Tree struct {
 	recs  []rec
 	links []links
 
+	// times holds each block's timestamp, parallel to recs. The timeless
+	// simulator leaves every entry zero; the continuous-time engine stamps
+	// each block with the simulation clock at its creation event, so
+	// timestamps are monotone non-decreasing along every branch. Kept as a
+	// separate SoA slice so the 20-byte rec stays cache-dense for chain
+	// walks that never touch time.
+	times []float64
+
 	// uncleArena backs every block's Uncles slice. Extend appends the
 	// validated references here and hands out capacity-clamped
 	// subslices, so uncle storage amortizes to zero allocations instead
@@ -103,13 +111,16 @@ func (t *Tree) Reset(cfg Config, genesisMiner MinerID) {
 		n := hint + 1 // plus genesis
 		t.recs = make([]rec, 0, n)
 		t.links = make([]links, 0, n)
+		t.times = make([]float64, 0, n)
 	} else {
 		t.recs = t.recs[:0]
 		t.links = t.links[:0]
+		t.times = t.times[:0]
 	}
 	t.uncleArena = t.uncleArena[:0]
 	t.recs = append(t.recs, rec{parent: noBlock32, miner: int32(genesisMiner)})
 	t.links = append(t.links, noLinks)
+	t.times = append(t.times, 0)
 }
 
 // Genesis returns the genesis block's ID (always 0).
@@ -139,6 +150,7 @@ func (t *Tree) Block(id BlockID) Block {
 		Height: int(r.height),
 		Miner:  MinerID(r.miner),
 		Seq:    int(id),
+		Time:   t.times[id],
 		Uncles: t.uncles(r),
 	}
 }
@@ -155,6 +167,10 @@ func (t *Tree) MinerOf(id BlockID) MinerID { return MinerID(t.recs[id].miner) }
 // UnclesOf returns the block's uncle references. The slice is owned by the
 // tree and must not be modified.
 func (t *Tree) UnclesOf(id BlockID) []BlockID { return t.uncles(t.recs[id]) }
+
+// TimeOf returns the block's timestamp (zero for every block of a timeless
+// run, and for genesis).
+func (t *Tree) TimeOf(id BlockID) float64 { return t.times[id] }
 
 // BlockInfo returns the parent, height, and uncle references of a block in
 // one record load — the chain-walking accessor for hot paths.
@@ -238,8 +254,18 @@ func (t *Tree) TotalUncleRefs() int { return len(t.uncleArena) }
 // Extend appends a new block on the given parent, referencing the given
 // uncles, and returns its ID. The uncle list is validated against the
 // protocol rules; the slice is copied, so the caller may reuse it. The
-// miner ID must be non-negative (IDs index dense settlement tallies).
+// miner ID must be non-negative (IDs index dense settlement tallies). The
+// block's timestamp is zero; timed simulations use ExtendAt.
 func (t *Tree) Extend(parent BlockID, miner MinerID, uncles []BlockID) (BlockID, error) {
+	return t.ExtendAt(parent, miner, uncles, 0)
+}
+
+// ExtendAt is Extend with an explicit timestamp: the continuous-time
+// simulator stamps each block with its creation event's clock. The tree
+// records the value without interpreting it (monotonicity along branches is
+// the caller's invariant; the simulator's globally increasing clock supplies
+// it for free).
+func (t *Tree) ExtendAt(parent BlockID, miner MinerID, uncles []BlockID, at float64) (BlockID, error) {
 	if !t.Contains(parent) {
 		return NoBlock, fmt.Errorf("parent %d: %w", parent, ErrUnknownBlock)
 	}
@@ -273,6 +299,7 @@ func (t *Tree) Extend(parent BlockID, miner MinerID, uncles []BlockID) (BlockID,
 		uncleEnd:   int32(len(t.uncleArena)),
 	})
 	t.links = append(t.links, noLinks)
+	t.times = append(t.times, at)
 	id32 := int32(id)
 	if t.links[parent].firstChild == noBlock32 {
 		t.links[parent].firstChild = id32

@@ -347,3 +347,44 @@ func TestBlockInfoAccessorsAgree(t *testing.T) {
 		t.Error("only child and genesis must not be fork children")
 	}
 }
+
+func TestExtendAtRecordsTimestamps(t *testing.T) {
+	tree := NewTree(Config{}, minerGenesis)
+	if got := tree.TimeOf(tree.Genesis()); got != 0 {
+		t.Fatalf("genesis time = %v, want 0", got)
+	}
+	a, err := tree.ExtendAt(tree.Genesis(), minerHonest, nil, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tree.ExtendAt(a, minerPool, nil, 2.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.TimeOf(a); got != 1.5 {
+		t.Errorf("TimeOf(a) = %v, want 1.5", got)
+	}
+	if got := tree.Block(b).Time; got != 2.25 {
+		t.Errorf("Block(b).Time = %v, want 2.25", got)
+	}
+	// The plain Extend path stamps zero, the timeless convention.
+	c := mustExtend(t, tree, b, minerHonest)
+	if got := tree.TimeOf(c); got != 0 {
+		t.Errorf("TimeOf(c) = %v, want 0 from Extend", got)
+	}
+}
+
+func TestResetClearsTimestamps(t *testing.T) {
+	tree := NewTree(Config{}, minerGenesis)
+	if _, err := tree.ExtendAt(tree.Genesis(), minerHonest, nil, 42); err != nil {
+		t.Fatal(err)
+	}
+	tree.Reset(Config{}, minerGenesis)
+	a := mustExtend(t, tree, tree.Genesis(), minerHonest)
+	if got := tree.TimeOf(a); got != 0 {
+		t.Errorf("after Reset, TimeOf = %v, want 0", got)
+	}
+	if got := tree.TimeOf(tree.Genesis()); got != 0 {
+		t.Errorf("after Reset, genesis time = %v, want 0", got)
+	}
+}

@@ -8,10 +8,13 @@
 //   - EIP100 (Byzantium): difficulty targets the regular-plus-uncle rate, so
 //     extra uncles slow the chain and issuance stays bounded (scenario 2).
 //
-// The package provides a retargeting controller and an epoch-driven
-// simulation coupling the controller to the selfish-mining simulator, which
-// demonstrates that the paper's scenario normalizations emerge from the
-// difficulty rules rather than being assumed.
+// The package provides an engine-driven retargeting Controller: the
+// continuous-time simulator (internal/sim) feeds it every block as it
+// settles — with its real timestamp and its actually referenced uncles,
+// read off the block tree rather than approximated in closed form — and
+// reads back the difficulty that paces the next exponential inter-arrival
+// draw. PredictedRewardRate is the closed-form steady-state oracle the
+// engine-integrated loop is cross-validated against.
 package difficulty
 
 import (
@@ -20,29 +23,37 @@ import (
 	"math"
 
 	"github.com/ethselfish/ethselfish/internal/core"
-	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/rewards"
-	"github.com/ethselfish/ethselfish/internal/rng"
-	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
-// Rule selects which block production the controller counts.
+// Rule selects which block production difficulty adjustment counts.
 type Rule int
 
-// The two difficulty rules studied.
+// The difficulty rules studied.
 const (
-	// BitcoinStyle counts only main-chain (regular) blocks, like
-	// Bitcoin's retarget and Ethereum before EIP100.
-	BitcoinStyle Rule = iota + 1
+	// Static applies no adjustment: difficulty stays at its initial
+	// value, the "before the protocol reacts" baseline.
+	Static Rule = iota
 
-	// EIP100 counts regular plus referenced uncle blocks, like
-	// Byzantium's adjustment.
+	// BitcoinStyle counts only main-chain (regular) blocks and retargets
+	// on epoch boundaries, like Bitcoin's retarget and Ethereum before
+	// EIP100.
+	BitcoinStyle
+
+	// EIP100 counts regular plus referenced uncle blocks and adjusts
+	// every block, like Byzantium's per-block rule.
 	EIP100
 )
+
+// Rules lists every rule in declaration order (the profitability grid's
+// rule axis).
+func Rules() []Rule { return []Rule{Static, BitcoinStyle, EIP100} }
 
 // String implements fmt.Stringer.
 func (r Rule) String() string {
 	switch r {
+	case Static:
+		return "static"
 	case BitcoinStyle:
 		return "bitcoin-style"
 	case EIP100:
@@ -52,197 +63,224 @@ func (r Rule) String() string {
 	}
 }
 
-// maxRetargetFactor bounds a single retarget step, as Bitcoin's consensus
-// rules do (factor 4).
+// ParseRule resolves a rule name ("static", "bitcoin", "bitcoin-style",
+// "eip100").
+func ParseRule(s string) (Rule, error) {
+	switch s {
+	case "static":
+		return Static, nil
+	case "bitcoin", "bitcoin-style":
+		return BitcoinStyle, nil
+	case "eip100":
+		return EIP100, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown rule %q", ErrBadController, s)
+	}
+}
+
+// DefaultEpoch is the default adjustment window in settled regular blocks:
+// the retarget period of the Bitcoin-style rule and the smoothing gain
+// (1/epoch per block) of the EIP100 rule. Small enough that quick 20k-block
+// runs converge well before their steady-state window, large enough that a
+// single epoch's observation has low relative noise.
+const DefaultEpoch = 128
+
+// maxRetargetFactor bounds a single Bitcoin-style retarget step, as
+// Bitcoin's consensus rules do (factor 4).
 const maxRetargetFactor = 4.0
+
+// maxPerBlockFactor bounds a single EIP100 per-block step. The steady-state
+// step is 1 +/- O(1/epoch); the clamp only matters while the controller is
+// far from equilibrium.
+const maxPerBlockFactor = 2.0
 
 // ErrBadController is returned for invalid controller parameters.
 var ErrBadController = errors.New("difficulty: invalid controller parameters")
 
-// Controller is a multiplicative retargeting controller: after each epoch it
-// scales difficulty by observedRate/targetRate, clamped to the maximum
-// retarget factor.
-type Controller struct {
-	rule       Rule
-	targetRate float64
-	difficulty float64
+// Params configures an engine-driven controller.
+type Params struct {
+	// Rule selects the counting rule. The zero value is Static.
+	Rule Rule
+
+	// TargetRate is the desired counted-block rate per unit time
+	// (zero: 1).
+	TargetRate float64
+
+	// Epoch is the adjustment window in settled regular blocks
+	// (zero: DefaultEpoch). BitcoinStyle retargets once per epoch;
+	// EIP100 adjusts every block with gain 1/epoch.
+	Epoch int
+
+	// Initial is the starting difficulty (zero: 1). With the population's
+	// hash power normalized to 1, block events arrive at rate
+	// 1/difficulty.
+	Initial float64
 }
 
-// NewController returns a controller with the given rule, target counted-
-// block rate (blocks per unit time) and initial difficulty.
-func NewController(rule Rule, targetRate, initial float64) (*Controller, error) {
-	if rule != BitcoinStyle && rule != EIP100 {
-		return nil, fmt.Errorf("%w: unknown rule %d", ErrBadController, rule)
+// WithDefaults fills the zero-value fields.
+func (p Params) WithDefaults() Params {
+	if p.TargetRate == 0 {
+		p.TargetRate = 1
 	}
-	if !(targetRate > 0) || math.IsInf(targetRate, 0) {
-		return nil, fmt.Errorf("%w: target rate %v", ErrBadController, targetRate)
+	if p.Epoch == 0 {
+		p.Epoch = DefaultEpoch
 	}
-	if !(initial > 0) || math.IsInf(initial, 0) {
-		return nil, fmt.Errorf("%w: initial difficulty %v", ErrBadController, initial)
+	if p.Initial == 0 {
+		p.Initial = 1
 	}
-	return &Controller{rule: rule, targetRate: targetRate, difficulty: initial}, nil
+	return p
+}
+
+// Validate rejects unusable parameters. Call it on the defaulted value.
+func (p Params) Validate() error {
+	if p.Rule != Static && p.Rule != BitcoinStyle && p.Rule != EIP100 {
+		return fmt.Errorf("%w: unknown rule %d", ErrBadController, p.Rule)
+	}
+	if !(p.TargetRate > 0) || math.IsInf(p.TargetRate, 0) {
+		return fmt.Errorf("%w: target rate %v", ErrBadController, p.TargetRate)
+	}
+	if p.Epoch < 1 {
+		return fmt.Errorf("%w: epoch %d must be positive", ErrBadController, p.Epoch)
+	}
+	if !(p.Initial > 0) || math.IsInf(p.Initial, 0) {
+		return fmt.Errorf("%w: initial difficulty %v", ErrBadController, p.Initial)
+	}
+	return nil
+}
+
+// Controller is an engine-driven difficulty controller. The simulator calls
+// ObserveBlock for every block the consensus floor settles, in chain order
+// with the block's timestamp and its referenced-uncle count, and reads
+// Difficulty to pace inter-arrival sampling. A Controller is single-run
+// state; Reset reuses it across runs (the simulator Runner's reuse
+// contract). It is not safe for concurrent use.
+type Controller struct {
+	p Params
+
+	difficulty float64
+
+	// lastTime is the timestamp of the last observed settled block (the
+	// EIP100 spacing base); epochStart is the timestamp of the last
+	// Bitcoin-style retarget.
+	lastTime   float64
+	epochStart float64
+
+	// counted and blocks accumulate the current Bitcoin-style epoch:
+	// counted is what the rule counts, blocks the epoch progress.
+	counted int
+	blocks  int
+
+	retargets int
+}
+
+// NewController returns a controller for the given parameters (defaults
+// applied first).
+func NewController(p Params) (*Controller, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{p: p}
+	c.Reset()
+	return c, nil
+}
+
+// Reset restores the controller to its initial state, so one instance can
+// be reused across independently seeded runs.
+func (c *Controller) Reset() {
+	c.difficulty = c.p.Initial
+	c.lastTime = 0
+	c.epochStart = 0
+	c.counted = 0
+	c.blocks = 0
+	c.retargets = 0
 }
 
 // Rule returns the controller's counting rule.
-func (c *Controller) Rule() Rule { return c.rule }
+func (c *Controller) Rule() Rule { return c.p.Rule }
+
+// Params returns the controller's (defaulted) parameters.
+func (c *Controller) Params() Params { return c.p }
 
 // Difficulty returns the current difficulty.
 func (c *Controller) Difficulty() float64 { return c.difficulty }
 
-// Counted returns the block count the rule pays attention to.
-func (c *Controller) Counted(regular, uncles int) int {
-	if c.rule == EIP100 {
-		return regular + uncles
-	}
-	return regular
-}
+// Retargets returns the number of adjustments applied so far: epoch
+// boundaries crossed for BitcoinStyle, blocks observed for EIP100, zero
+// always for Static.
+func (c *Controller) Retargets() int { return c.retargets }
 
-// Retarget updates the difficulty after observing counted blocks over the
-// given elapsed time. The clamp bounds every step to the maximum retarget
-// factor in either direction, so even a zero observation only divides the
-// difficulty by that factor.
-func (c *Controller) Retarget(counted int, elapsed float64) {
-	if elapsed <= 0 {
-		return
-	}
-	observed := float64(counted) / elapsed
-	factor := observed / c.targetRate
-	if factor > maxRetargetFactor {
-		factor = maxRetargetFactor
-	}
-	if factor < 1/maxRetargetFactor {
-		factor = 1 / maxRetargetFactor
-	}
-	c.difficulty *= factor
-}
-
-// SimConfig couples a controller to the selfish-mining simulator.
-type SimConfig struct {
-	// Alpha and Gamma parameterize the attack.
-	Alpha, Gamma float64
-
-	// Schedule is the reward schedule (zero value: Ethereum).
-	Schedule rewards.Schedule
-
-	// Rule selects the difficulty rule.
-	Rule Rule
-
-	// TargetRate is the desired counted-block rate per unit time.
-	TargetRate float64
-
-	// Epochs and BlocksPerEpoch control the retargeting horizon.
-	Epochs, BlocksPerEpoch int
-
-	// Seed makes the run reproducible.
-	Seed uint64
-}
-
-// EpochStats records one epoch of the coupled simulation.
-type EpochStats struct {
-	// Difficulty in force during the epoch.
-	Difficulty float64
-
-	// Elapsed physical time of the epoch.
-	Elapsed float64
-
-	// RegularRate and UncleRate are realized block rates per unit time.
-	RegularRate, UncleRate float64
-
-	// RewardRate is total issued rewards (static + uncle + nephew) per
-	// unit time — the quantity a difficulty rule is supposed to keep
-	// bounded.
-	RewardRate float64
-}
-
-// Simulate runs the coupled difficulty/selfish-mining simulation. Each epoch
-// mines BlocksPerEpoch events at the current difficulty (hash power 1, so
-// the event rate is 1/difficulty), settles rewards, then retargets.
-func Simulate(cfg SimConfig) ([]EpochStats, error) {
-	if cfg.Epochs <= 0 || cfg.BlocksPerEpoch <= 0 {
-		return nil, fmt.Errorf("%w: epochs and blocks per epoch must be positive", ErrBadController)
-	}
-	if math.IsNaN(cfg.Alpha) || !(cfg.Alpha > 0 && cfg.Alpha < 0.5) {
-		// At alpha >= 0.5 the private branch never loses its lead and
-		// races never resolve; the retargeting loop would be
-		// meaningless.
-		return nil, fmt.Errorf("%w: alpha %v out of (0, 0.5)", ErrBadController, cfg.Alpha)
-	}
-	ctrl, err := NewController(cfg.Rule, cfg.TargetRate, 1)
-	if err != nil {
-		return nil, err
-	}
-	pop, err := mining.TwoAgent(cfg.Alpha)
-	if err != nil {
-		return nil, fmt.Errorf("difficulty: %w", err)
-	}
-	random := rng.New(cfg.Seed)
-
-	epochs := make([]EpochStats, 0, cfg.Epochs)
-	for e := 0; e < cfg.Epochs; e++ {
-		result, err := sim.Run(sim.Config{
-			Population: pop,
-			Gamma:      cfg.Gamma,
-			Schedule:   cfg.Schedule,
-			Blocks:     cfg.BlocksPerEpoch,
-			Seed:       random.Uint64(),
-		})
-		if err != nil {
-			return nil, err
+// ObserveBlock feeds one newly settled regular block: its timestamp and the
+// number of uncles it references (as counted on the settled tree). Blocks
+// must be observed in chain order with non-decreasing timestamps.
+func (c *Controller) ObserveBlock(timestamp float64, uncles int) {
+	switch c.p.Rule {
+	case BitcoinStyle:
+		// Epoch retarget on main-chain rate alone: uncles are invisible
+		// to the pre-Byzantium rule.
+		c.counted++
+		c.blocks++
+		if c.blocks < c.p.Epoch {
+			break
 		}
-		// Physical time: block events arrive at rate 1/difficulty.
-		var elapsed float64
-		rate := 1 / ctrl.Difficulty()
-		for i := 0; i < cfg.BlocksPerEpoch; i++ {
-			elapsed += random.Exp(rate)
+		if elapsed := timestamp - c.epochStart; elapsed > 0 {
+			factor := float64(c.counted) / elapsed / c.p.TargetRate
+			c.difficulty *= clampFactor(factor, maxRetargetFactor)
+			c.retargets++
 		}
-		totalReward := result.Pool.Total() + result.Honest.Total()
-		epochs = append(epochs, EpochStats{
-			Difficulty:  ctrl.Difficulty(),
-			Elapsed:     elapsed,
-			RegularRate: float64(result.RegularCount) / elapsed,
-			UncleRate:   float64(result.UncleCount) / elapsed,
-			RewardRate:  totalReward / elapsed,
-		})
-		ctrl.Retarget(ctrl.Counted(result.RegularCount, result.UncleCount), elapsed)
+		c.counted = 0
+		c.blocks = 0
+		c.epochStart = timestamp
+
+	case EIP100:
+		// Per-block adjustment on the regular-plus-uncle rate. The
+		// error term compares the blocks this step actually counted
+		// (the regular block plus its referenced uncles) against what
+		// the target rate expects over the observed spacing; gain
+		// 1/epoch makes the equilibrium E[counted] = target*E[spacing],
+		// i.e. a counted rate equal to the target, with convergence in
+		// O(epoch) blocks and per-block noise O(1/epoch).
+		counted := 1 + uncles
+		spacing := timestamp - c.lastTime
+		err := float64(counted) - spacing*c.p.TargetRate
+		factor := 1 + err/float64(c.p.Epoch)
+		c.difficulty *= clampFactor(factor, maxPerBlockFactor)
+		c.retargets++
 	}
-	return epochs, nil
+	c.lastTime = timestamp
 }
 
-// SteadyState averages the trailing half of the epochs, where the controller
-// has converged.
-func SteadyState(epochs []EpochStats) EpochStats {
-	if len(epochs) == 0 {
-		return EpochStats{}
+// clampFactor bounds a multiplicative step to [1/limit, limit].
+func clampFactor(factor, limit float64) float64 {
+	if factor > limit {
+		return limit
 	}
-	tail := epochs[len(epochs)/2:]
-	var out EpochStats
-	for _, e := range tail {
-		out.Difficulty += e.Difficulty
-		out.Elapsed += e.Elapsed
-		out.RegularRate += e.RegularRate
-		out.UncleRate += e.UncleRate
-		out.RewardRate += e.RewardRate
+	if factor < 1/limit {
+		return 1 / limit
 	}
-	n := float64(len(tail))
-	out.Difficulty /= n
-	out.Elapsed /= n
-	out.RegularRate /= n
-	out.UncleRate /= n
-	out.RewardRate /= n
-	return out
+	return factor
 }
 
-// PredictedRewardRate returns the analytic steady-state reward rate for a
-// difficulty rule: target * TotalAbsolute(scenario), with scenario 1 for
-// BitcoinStyle and scenario 2 for EIP100.
-func PredictedRewardRate(cfg SimConfig) (float64, error) {
-	m, err := core.New(core.Params{Alpha: cfg.Alpha, Gamma: cfg.Gamma, Schedule: cfg.Schedule})
+// PredictedRewardRate returns the analytic steady-state total reward rate
+// (all miners, rewards per unit time) for an adjusting difficulty rule at
+// the given attack parameters: targetRate * TotalAbsolute(scenario), with
+// scenario 1 for BitcoinStyle and scenario 2 for EIP100. It is the
+// closed-form oracle the engine-integrated controller is cross-validated
+// against; the Static rule has no scenario normalization (its issuance
+// depends on the initial difficulty, not the target) and is rejected.
+func PredictedRewardRate(rule Rule, targetRate, alpha, gamma float64, schedule rewards.Schedule) (float64, error) {
+	var scenario core.Scenario
+	switch rule {
+	case BitcoinStyle:
+		scenario = core.Scenario1
+	case EIP100:
+		scenario = core.Scenario2
+	default:
+		return 0, fmt.Errorf("%w: no closed-form rate for rule %v", ErrBadController, rule)
+	}
+	m, err := core.New(core.Params{Alpha: alpha, Gamma: gamma, Schedule: schedule})
 	if err != nil {
 		return 0, err
 	}
-	scenario := core.Scenario1
-	if cfg.Rule == EIP100 {
-		scenario = core.Scenario2
-	}
-	return cfg.TargetRate * m.Revenue().TotalAbsolute(scenario), nil
+	return targetRate * m.Revenue().TotalAbsolute(scenario), nil
 }

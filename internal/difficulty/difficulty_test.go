@@ -4,153 +4,252 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/rewards"
 )
 
-func TestControllerValidation(t *testing.T) {
+func TestParamsValidation(t *testing.T) {
 	tests := []struct {
-		name            string
-		rule            Rule
-		target, initial float64
+		name string
+		p    Params
 	}{
-		{"unknown rule", Rule(0), 1, 1},
-		{"zero target", BitcoinStyle, 0, 1},
-		{"negative target", BitcoinStyle, -1, 1},
-		{"zero difficulty", EIP100, 1, 0},
-		{"NaN target", EIP100, math.NaN(), 1},
+		{"unknown rule", Params{Rule: Rule(99)}},
+		{"negative target", Params{Rule: BitcoinStyle, TargetRate: -1}},
+		{"NaN target", Params{Rule: EIP100, TargetRate: math.NaN()}},
+		{"inf target", Params{Rule: EIP100, TargetRate: math.Inf(1)}},
+		{"negative epoch", Params{Rule: BitcoinStyle, Epoch: -3}},
+		{"negative initial", Params{Rule: EIP100, Initial: -1}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if _, err := NewController(tt.rule, tt.target, tt.initial); !errors.Is(err, ErrBadController) {
+			if _, err := NewController(tt.p); !errors.Is(err, ErrBadController) {
 				t.Errorf("err = %v, want ErrBadController", err)
 			}
 		})
 	}
 }
 
-func TestControllerRetargetDirection(t *testing.T) {
-	c, err := NewController(BitcoinStyle, 1, 100)
+func TestParamsDefaults(t *testing.T) {
+	c, err := NewController(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Blocks arriving twice as fast as the target double the difficulty.
-	c.Retarget(200, 100)
+	p := c.Params()
+	if p.Rule != Static || p.TargetRate != 1 || p.Epoch != DefaultEpoch || p.Initial != 1 {
+		t.Errorf("defaults = %+v", p)
+	}
+	if c.Difficulty() != 1 {
+		t.Errorf("initial difficulty = %v, want 1", c.Difficulty())
+	}
+}
+
+func TestStaticNeverAdjusts(t *testing.T) {
+	c, err := NewController(Params{Rule: Static, Initial: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		c.ObserveBlock(float64(i)*0.01, 2) // blocks 100x too fast
+	}
+	if c.Difficulty() != 3 || c.Retargets() != 0 {
+		t.Errorf("static difficulty %v after %d retargets, want 3 after 0",
+			c.Difficulty(), c.Retargets())
+	}
+}
+
+// feedRegular feeds n settled blocks at fixed spacing with the given uncle
+// count each, continuing from the controller's last timestamp.
+func feedRegular(c *Controller, start float64, n int, spacing float64, uncles int) float64 {
+	at := start
+	for i := 0; i < n; i++ {
+		at += spacing
+		c.ObserveBlock(at, uncles)
+	}
+	return at
+}
+
+func TestBitcoinStyleEpochRetarget(t *testing.T) {
+	c, err := NewController(Params{Rule: BitcoinStyle, TargetRate: 1, Epoch: 100, Initial: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 99 blocks: no retarget yet.
+	at := feedRegular(c, 0, 99, 0.5, 7)
+	if c.Retargets() != 0 || c.Difficulty() != 100 {
+		t.Fatalf("retargeted before the epoch boundary: %d at difficulty %v",
+			c.Retargets(), c.Difficulty())
+	}
+	// The 100th closes the epoch: 100 blocks over 50 time units is rate 2,
+	// twice the target, so difficulty doubles. Uncle counts must be
+	// ignored by the uncle-blind rule.
+	feedRegular(c, at, 1, 0.5, 7)
+	if c.Retargets() != 1 {
+		t.Fatalf("retargets = %d, want 1", c.Retargets())
+	}
 	if math.Abs(c.Difficulty()-200) > 1e-9 {
 		t.Errorf("difficulty = %v, want 200", c.Difficulty())
 	}
-	// Blocks arriving at half the target rate halve it again.
-	c.Retarget(50, 100)
+	// A slow epoch (rate 1/2) halves it back.
+	feedRegular(c, at+0.5, 100, 2, 0)
 	if math.Abs(c.Difficulty()-100) > 1e-9 {
 		t.Errorf("difficulty = %v, want 100", c.Difficulty())
 	}
 }
 
-func TestControllerRetargetClamped(t *testing.T) {
-	c, err := NewController(BitcoinStyle, 1, 100)
+func TestBitcoinStyleRetargetClamped(t *testing.T) {
+	c, err := NewController(Params{Rule: BitcoinStyle, TargetRate: 1, Epoch: 10, Initial: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Retarget(1000000, 1) // observed rate 1e6: clamp to 4x
+	feedRegular(c, 0, 10, 1e-6, 0) // ~1e6x too fast: clamped to 4x
 	if math.Abs(c.Difficulty()-400) > 1e-9 {
 		t.Errorf("difficulty = %v, want clamped 400", c.Difficulty())
 	}
-	c.Retarget(0, 1000000) // observed ~0: clamp to /4
+	feedRegular(c, 1e-5, 10, 1e6, 0) // ~1e-6x too slow: clamped to /4
 	if math.Abs(c.Difficulty()-100) > 1e-9 {
 		t.Errorf("difficulty = %v, want clamped 100", c.Difficulty())
 	}
-	c.Retarget(5, 0) // zero elapsed: ignored
-	if math.Abs(c.Difficulty()-100) > 1e-9 {
-		t.Errorf("difficulty = %v, want unchanged 100", c.Difficulty())
+}
+
+func TestEIP100PerBlockDirectionAndEquilibrium(t *testing.T) {
+	c, err := NewController(Params{Rule: EIP100, TargetRate: 1, Epoch: 64, Initial: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks at twice the target counted rate push difficulty up,
+	// one adjustment per block.
+	feedRegular(c, 0, 64, 0.5, 0)
+	if c.Retargets() != 64 {
+		t.Fatalf("retargets = %d, want 64 (one per block)", c.Retargets())
+	}
+	if c.Difficulty() <= 1 {
+		t.Errorf("difficulty %v did not rise under too-fast blocks", c.Difficulty())
+	}
+	// At exactly the target rate (counting uncles: 2 counted per 2 time
+	// units) the error term is zero and difficulty freezes.
+	before := c.Difficulty()
+	feedRegular(c, 32, 100, 2, 1)
+	if got := c.Difficulty(); got != before {
+		t.Errorf("difficulty moved from %v to %v at the exact target rate", before, got)
+	}
+	// Too-slow blocks push it down.
+	feedRegular(c, 250, 64, 4, 0)
+	if c.Difficulty() >= before {
+		t.Errorf("difficulty %v did not fall under too-slow blocks", c.Difficulty())
 	}
 }
 
-func TestCountedPerRule(t *testing.T) {
-	btc, err := NewController(BitcoinStyle, 1, 1)
+func TestEIP100StepClamped(t *testing.T) {
+	c, err := NewController(Params{Rule: EIP100, TargetRate: 1, Epoch: 1, Initial: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eip, err := NewController(EIP100, 1, 1)
+	// Epoch 1 makes the raw step 1 + err; a huge negative error (a very
+	// late block) must clamp to halving rather than going negative.
+	c.ObserveBlock(1000, 0)
+	if math.Abs(c.Difficulty()-0.5) > 1e-12 {
+		t.Errorf("difficulty = %v, want clamped 0.5", c.Difficulty())
+	}
+	// A huge positive error clamps to doubling.
+	c.ObserveBlock(1000, 100)
+	if math.Abs(c.Difficulty()-1) > 1e-12 {
+		t.Errorf("difficulty = %v, want clamped back to 1", c.Difficulty())
+	}
+}
+
+func TestControllerReset(t *testing.T) {
+	c, err := NewController(Params{Rule: EIP100, TargetRate: 1, Epoch: 8, Initial: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := btc.Counted(100, 7); got != 100 {
-		t.Errorf("BitcoinStyle counted = %d, want 100", got)
+	feedRegular(c, 0, 50, 0.1, 1)
+	if c.Difficulty() == 2 {
+		t.Fatal("difficulty did not move; test is vacuous")
 	}
-	if got := eip.Counted(100, 7); got != 107 {
-		t.Errorf("EIP100 counted = %d, want 107", got)
+	c.Reset()
+	if c.Difficulty() != 2 || c.Retargets() != 0 {
+		t.Errorf("after Reset: difficulty %v, retargets %d; want 2, 0",
+			c.Difficulty(), c.Retargets())
 	}
-	if BitcoinStyle.String() != "bitcoin-style" || EIP100.String() != "eip100" {
+	// A reset controller reproduces the original trajectory exactly.
+	fresh, err := NewController(Params{Rule: EIP100, TargetRate: 1, Epoch: 8, Initial: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedRegular(c, 0, 50, 0.1, 1)
+	feedRegular(fresh, 0, 50, 0.1, 1)
+	if c.Difficulty() != fresh.Difficulty() {
+		t.Errorf("reset trajectory %v, fresh %v", c.Difficulty(), fresh.Difficulty())
+	}
+}
+
+func TestRuleNamesAndParse(t *testing.T) {
+	if Static.String() != "static" || BitcoinStyle.String() != "bitcoin-style" || EIP100.String() != "eip100" {
 		t.Error("rule names wrong")
 	}
+	for _, tc := range []struct {
+		in   string
+		want Rule
+	}{
+		{"static", Static}, {"bitcoin", BitcoinStyle}, {"bitcoin-style", BitcoinStyle}, {"eip100", EIP100},
+	} {
+		got, err := ParseRule(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseRule(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseRule("bogus"); !errors.Is(err, ErrBadController) {
+		t.Error("ParseRule accepted a bogus rule")
+	}
+	if got := Rules(); len(got) != 3 || got[0] != Static || got[1] != BitcoinStyle || got[2] != EIP100 {
+		t.Errorf("Rules() = %v", got)
+	}
 }
 
-func TestSimulateConvergesToTargets(t *testing.T) {
-	// Under each rule, the counted rate must converge to the target.
-	base := SimConfig{
-		Alpha:          0.35,
-		Gamma:          0.5,
-		TargetRate:     1,
-		Epochs:         30,
-		BlocksPerEpoch: 20000,
-		Seed:           7,
-	}
-	btcCfg := base
-	btcCfg.Rule = BitcoinStyle
-	btc, err := Simulate(btcCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eipCfg := base
-	eipCfg.Rule = EIP100
-	eip, err := Simulate(eipCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	btcSteady := SteadyState(btc)
-	eipSteady := SteadyState(eip)
-	if math.Abs(btcSteady.RegularRate-1) > 0.05 {
-		t.Errorf("bitcoin-style regular rate %v, want ~1", btcSteady.RegularRate)
-	}
-	if got := eipSteady.RegularRate + eipSteady.UncleRate; math.Abs(got-1) > 0.05 {
-		t.Errorf("eip100 regular+uncle rate %v, want ~1", got)
-	}
-	// The paper's point: uncle-blind difficulty lets selfish mining
-	// inflate issuance; EIP100 keeps it lower.
-	if btcSteady.RewardRate <= eipSteady.RewardRate {
-		t.Errorf("bitcoin-style reward rate %v should exceed eip100's %v",
-			btcSteady.RewardRate, eipSteady.RewardRate)
-	}
-	// Quantitative check against the analytic prediction.
-	for _, tc := range []struct {
-		cfg    SimConfig
-		steady EpochStats
-	}{
-		{btcCfg, btcSteady},
-		{eipCfg, eipSteady},
-	} {
-		want, err := PredictedRewardRate(tc.cfg)
+func TestObserveBlockAllocationFree(t *testing.T) {
+	for _, rule := range []Rule{Static, BitcoinStyle, EIP100} {
+		c, err := NewController(Params{Rule: rule})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.Abs(tc.steady.RewardRate-want) > 0.05*want {
-			t.Errorf("%v: reward rate %v, analytic %v", tc.cfg.Rule, tc.steady.RewardRate, want)
+		at := 0.0
+		if allocs := testing.AllocsPerRun(1000, func() {
+			at++
+			c.ObserveBlock(at, 1)
+		}); allocs != 0 {
+			t.Errorf("%v: ObserveBlock allocates %v per call, want 0", rule, allocs)
 		}
 	}
 }
 
-func TestSimulateValidation(t *testing.T) {
-	if _, err := Simulate(SimConfig{Rule: EIP100, TargetRate: 1}); err == nil {
-		t.Error("zero epochs should fail")
+func TestPredictedRewardRate(t *testing.T) {
+	schedule := rewards.Ethereum()
+	btc, err := PredictedRewardRate(BitcoinStyle, 1, 0.35, 0.5, schedule)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Simulate(SimConfig{
-		Rule: EIP100, TargetRate: 1, Epochs: 1, BlocksPerEpoch: 10, Alpha: 0.7,
-	}); err == nil {
-		t.Error("alpha out of range should fail")
+	eip, err := PredictedRewardRate(EIP100, 1, 0.35, 0.5, schedule)
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-func TestSteadyStateEmpty(t *testing.T) {
-	if got := SteadyState(nil); got != (EpochStats{}) {
-		t.Errorf("SteadyState(nil) = %+v, want zero", got)
+	// Scenario 1 pays uncle rewards on top of a pinned regular rate, so
+	// issuance inflates past the all-honest rate; scenario 2 folds uncles
+	// into the counted rate and stays at or below scenario 1.
+	if btc <= 1 {
+		t.Errorf("bitcoin-style predicted rate %v, want > 1 (inflated issuance)", btc)
+	}
+	if eip >= btc {
+		t.Errorf("eip100 predicted rate %v should be below bitcoin-style's %v", eip, btc)
+	}
+	// The target rate scales the prediction linearly.
+	double, err := PredictedRewardRate(BitcoinStyle, 2, 0.35, 0.5, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(double-2*btc) > 1e-12 {
+		t.Errorf("rate at target 2 = %v, want %v", double, 2*btc)
+	}
+	if _, err := PredictedRewardRate(Static, 1, 0.35, 0.5, schedule); !errors.Is(err, ErrBadController) {
+		t.Error("Static must have no closed-form prediction")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/difficulty"
 )
 
 func TestFig8ShapeAndAnchors(t *testing.T) {
@@ -200,8 +201,12 @@ func TestFig7Dump(t *testing.T) {
 	}
 }
 
+// TestDiffAblation is the engine-vs-oracle agreement test: the
+// engine-integrated controller's steady-state reward rate must match the
+// closed-form difficulty.PredictedRewardRate for both adjusting rules, and
+// each rule must hold its counted rate at the target.
 func TestDiffAblation(t *testing.T) {
-	result, err := DiffAblation(Quick())
+	result, err := DiffAblation(Options{Runs: 4, Blocks: 50000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,14 +214,27 @@ func TestDiffAblation(t *testing.T) {
 		t.Fatalf("got %d rows, want 2", len(result.Rows))
 	}
 	bitcoin, eip := result.Rows[0], result.Rows[1]
-	if bitcoin.Steady.RewardRate <= eip.Steady.RewardRate {
-		t.Errorf("bitcoin-style reward rate %.3f should exceed eip100's %.3f",
-			bitcoin.Steady.RewardRate, eip.Steady.RewardRate)
+	if bitcoin.Rule != difficulty.BitcoinStyle || eip.Rule != difficulty.EIP100 {
+		t.Fatalf("row order = %v, %v", bitcoin.Rule, eip.Rule)
 	}
+	// Each rule pins its own counted rate at the target.
+	if math.Abs(bitcoin.RegularRate-1) > 0.05 {
+		t.Errorf("bitcoin-style regular rate %.3f, want ~1", bitcoin.RegularRate)
+	}
+	if got := eip.RegularRate + eip.UncleRate; math.Abs(got-1) > 0.05 {
+		t.Errorf("eip100 regular+uncle rate %.3f, want ~1", got)
+	}
+	// The paper's point: the uncle-blind rule lets selfish mining inflate
+	// issuance; EIP100 keeps it bounded.
+	if bitcoin.RewardRate <= eip.RewardRate {
+		t.Errorf("bitcoin-style reward rate %.3f should exceed eip100's %.3f",
+			bitcoin.RewardRate, eip.RewardRate)
+	}
+	// Agreement with the closed-form oracle, within statistical tolerance.
 	for _, row := range result.Rows {
-		if math.Abs(row.Steady.RewardRate-row.Predicted) > 0.1*row.Predicted {
-			t.Errorf("%v: steady reward rate %.3f far from predicted %.3f",
-				row.Rule, row.Steady.RewardRate, row.Predicted)
+		if math.Abs(row.RewardRate-row.Predicted) > 0.03*row.Predicted {
+			t.Errorf("%v: steady reward rate %.4f far from predicted %.4f",
+				row.Rule, row.RewardRate, row.Predicted)
 		}
 	}
 	if !strings.Contains(result.Table().String(), "eip100") {

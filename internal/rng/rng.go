@@ -117,9 +117,20 @@ func (r *Source) Exp(rate float64) float64 {
 	if rate <= 0 {
 		panic("rng: Exp called with non-positive rate")
 	}
-	// Use 1 - Float64() so the argument to Log is in (0, 1]; Log(0) would
-	// return -Inf.
-	return -math.Log(1-r.Float64()) / rate
+	return r.ExpUnit() / rate
+}
+
+// ExpUnit returns a unit-mean exponentially distributed value. It is the
+// simulator's inter-arrival sampler: allocation-free, and it consumes
+// exactly one generator output per draw (a fixed consumption pattern, like
+// AliasTable.Draw), so enabling the time axis never perturbs how much
+// randomness any other consumer of the same stream sees. Callers scale by
+// the desired mean (the current difficulty) instead of dividing by a rate,
+// keeping the per-event cost to one draw, one log, and one multiply.
+func (r *Source) ExpUnit() float64 {
+	// 1 - Float64() is in (0, 1], so Log never sees zero and the result is
+	// always finite and non-negative.
+	return -math.Log(1 - r.Float64())
 }
 
 // Categorical draws an index in [0, len(weights)) with probability

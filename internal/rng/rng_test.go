@@ -183,6 +183,52 @@ func TestExpMoments(t *testing.T) {
 	}
 }
 
+func TestExpUnitMoments(t *testing.T) {
+	// ExpUnit is the time axis's inter-arrival sampler: unit mean, unit
+	// variance, never negative, always finite.
+	r := New(43)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.ExpUnit()
+		if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("draw %d: ExpUnit() = %v", i, x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("mean = %v, want 1 +/- 0.02", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want 1 +/- 0.05", variance)
+	}
+}
+
+func TestExpUnitConsumesOneDraw(t *testing.T) {
+	// ExpUnit must consume exactly one generator output per call, so the
+	// simulator's time axis (which draws from its own stream) has a fixed,
+	// predictable consumption pattern.
+	a := New(47)
+	b := New(47)
+	for i := 0; i < 100; i++ {
+		a.ExpUnit()
+		b.Uint64()
+	}
+	if got, want := a.Uint64(), b.Uint64(); got != want {
+		t.Fatalf("after 100 ExpUnit draws, stream diverged from 100 Uint64 draws: %d != %d", got, want)
+	}
+}
+
+func TestExpUnitAllocationFree(t *testing.T) {
+	r := New(53)
+	if allocs := testing.AllocsPerRun(1000, func() { _ = r.ExpUnit() }); allocs != 0 {
+		t.Errorf("ExpUnit allocates %v per draw, want 0", allocs)
+	}
+}
+
 func TestExpPanicsOnNonPositiveRate(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -461,5 +507,13 @@ func BenchmarkExp(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
 		_ = r.Exp(1)
+	}
+}
+
+func BenchmarkExpUnit(b *testing.B) {
+	b.ReportAllocs()
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.ExpUnit()
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/ethselfish/ethselfish/internal/chain"
+	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/rng"
 )
@@ -86,15 +87,17 @@ func (s *randomReactor) react(ls, lh, published int) Reaction {
 
 // FuzzRandomLegalStrategySimulation is the randomized-strategy property
 // test: a simulator driven by arbitrary legal reactions (any pool count,
-// alpha, gamma) must never error, must settle exactly at the consensus
-// floor (never past it), and must conserve blocks — every minted block is
-// settled as regular, uncle, or stale.
+// alpha, gamma, difficulty regime) must never error, must settle exactly at
+// the consensus floor (never past it), must conserve blocks — every minted
+// block is settled as regular, uncle, or stale — and, when the time axis is
+// on, must keep timestamps monotone along every branch and elapsed time
+// positive, with the same conservation laws holding under retargeting.
 func FuzzRandomLegalStrategySimulation(f *testing.F) {
-	f.Add(uint64(1), uint64(2), uint8(30), uint8(128), uint8(1), uint16(2000))
-	f.Add(uint64(7), uint64(11), uint8(45), uint8(0), uint8(2), uint16(1500))
-	f.Add(uint64(42), uint64(43), uint8(60), uint8(255), uint8(3), uint16(900))
-	f.Add(uint64(99), uint64(5), uint8(10), uint8(64), uint8(2), uint16(400))
-	f.Fuzz(func(t *testing.T, seed, strategySeed uint64, alphaByte, gammaByte, poolsByte uint8, blocksWord uint16) {
+	f.Add(uint64(1), uint64(2), uint8(30), uint8(128), uint8(1), uint16(2000), uint8(0))
+	f.Add(uint64(7), uint64(11), uint8(45), uint8(0), uint8(2), uint16(1500), uint8(1))
+	f.Add(uint64(42), uint64(43), uint8(60), uint8(255), uint8(3), uint16(900), uint8(2))
+	f.Add(uint64(99), uint64(5), uint8(10), uint8(64), uint8(2), uint16(400), uint8(3))
+	f.Fuzz(func(t *testing.T, seed, strategySeed uint64, alphaByte, gammaByte, poolsByte uint8, blocksWord uint16, timeByte uint8) {
 		pools := 1 + int(poolsByte)%3
 		totalAlpha := 0.10 + float64(alphaByte%50)/100 // 0.10 .. 0.59
 		alphas := make([]float64, pools)
@@ -115,6 +118,7 @@ func FuzzRandomLegalStrategySimulation(f *testing.F) {
 			Blocks:     200 + int(blocksWord)%4000,
 			Seed:       seed,
 			Strategies: strategies,
+			Time:       fuzzTimeConfig(timeByte),
 		}.withDefaults()
 		if err := cfg.validate(); err != nil {
 			t.Fatal(err)
@@ -168,5 +172,62 @@ func FuzzRandomLegalStrategySimulation(f *testing.F) {
 				t.Errorf("pool %d occupancy sums to %d over %d events", i+1, total, cfg.Blocks)
 			}
 		}
+
+		// Reward conservation: regular blocks each pay exactly one static
+		// reward, whatever the difficulty regime — retargeting may change
+		// *when* blocks arrive, never what they pay.
+		var static float64
+		for _, reward := range result.ByPool {
+			static += reward.Static
+		}
+		if int(static) != result.RegularCount {
+			t.Errorf("settled static rewards %v, want one per regular block (%d)",
+				static, result.RegularCount)
+		}
+
+		// Time invariants, when the axis is on: strictly positive elapsed
+		// time bounding the settled span, positive difficulty, and
+		// timestamps monotone along every branch.
+		if cfg.Time.Enabled {
+			if result.Elapsed <= 0 {
+				t.Errorf("elapsed time %v, want positive", result.Elapsed)
+			}
+			if result.SettledTime < 0 || result.SettledTime > result.Elapsed {
+				t.Errorf("settled time %v outside [0, %v]", result.SettledTime, result.Elapsed)
+			}
+			if result.FinalDifficulty <= 0 {
+				t.Errorf("final difficulty %v, want positive", result.FinalDifficulty)
+			}
+			for id := 1; id < s.tree.Len(); id++ {
+				b := chain.BlockID(id)
+				if s.tree.TimeOf(b) < s.tree.TimeOf(s.tree.ParentOf(b)) {
+					t.Fatalf("block %d predates its parent", id)
+				}
+			}
+		} else if result.Elapsed != 0 || result.SettledTime != 0 {
+			t.Errorf("timeless run reported elapsed %v, settled %v",
+				result.Elapsed, result.SettledTime)
+		}
 	})
+}
+
+// fuzzTimeConfig maps one fuzz byte onto the time-axis configuration space:
+// off, or on under each difficulty rule with a fuzz-scaled epoch.
+func fuzzTimeConfig(b uint8) TimeConfig {
+	switch b % 4 {
+	case 1:
+		return TimeConfig{Enabled: true} // static difficulty
+	case 2:
+		return TimeConfig{Enabled: true, Difficulty: difficulty.Params{
+			Rule:  difficulty.BitcoinStyle,
+			Epoch: 16 + int(b),
+		}}
+	case 3:
+		return TimeConfig{Enabled: true, Difficulty: difficulty.Params{
+			Rule:  difficulty.EIP100,
+			Epoch: 16 + int(b),
+		}}
+	default:
+		return TimeConfig{}
+	}
 }

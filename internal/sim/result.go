@@ -58,6 +58,35 @@ type Result struct {
 	// (Ls, Lh) state counts in the single-pool setting. It aliases
 	// OccupancyByPool[0].
 	Occupancy map[core.State]int64
+
+	// The remaining fields exist only when the run's TimeConfig was
+	// enabled; a timeless run leaves them zero.
+
+	// Elapsed is the total simulated time: the clock after the last
+	// block event.
+	Elapsed float64
+
+	// SettledTime is the timestamp of the consensus floor — the time
+	// span the settled rewards accrued over (races still in flight at
+	// the end of the run are excluded from both).
+	SettledTime float64
+
+	// InitialDifficulty and FinalDifficulty bracket the difficulty
+	// trajectory; Retargets counts the adjustments applied (epoch
+	// boundaries for the Bitcoin-style rule, observed blocks for EIP100,
+	// zero for the static regime).
+	InitialDifficulty float64
+	FinalDifficulty   float64
+	Retargets         int
+
+	// Early and Steady are the before/after-adjustment windows of the
+	// settled chain: Early covers its first min(epoch, settled) regular
+	// blocks — the difficulty regime before the first Bitcoin-style
+	// retarget (and, for EIP100, at most one epoch of 1/epoch-gain
+	// steps) — and Steady covers its trailing half, where the controller
+	// has converged. The profitability question "does selfish mining
+	// actually pay?" is RateOf compared across these two windows.
+	Early, Steady Window
 }
 
 // MinerReward returns one miner's settled tally (zero if it earned
@@ -145,6 +174,20 @@ func (r Result) ShareOf(pool mining.PoolID) float64 {
 		return 0
 	}
 	return r.RewardOf(pool).Total() / total
+}
+
+// RateOf returns one pool's time-averaged absolute reward rate (reward per
+// unit time) over the whole settled chain: the time-domain counterpart of
+// AbsoluteOf, and zero in timeless runs. Pool 0 is the honest crowd.
+func (r Result) RateOf(pool mining.PoolID) float64 {
+	return safeRate(r.RewardOf(pool).Total(), r.SettledTime)
+}
+
+// TotalRate returns the system-wide absolute reward rate over the settled
+// chain (zero in timeless runs) — the issuance rate a difficulty rule is
+// supposed to keep bounded.
+func (r Result) TotalRate() float64 {
+	return safeRate(r.Pool.Total()+r.Honest.Total(), r.SettledTime)
 }
 
 // StateProbability estimates the stationary probability of state s from the
@@ -256,6 +299,16 @@ func settleRun(s *simulator) (Result, error) {
 			result.HonestUncleDistances.Observe(ref.Distance)
 		}
 	}
+	if s.timing {
+		result.Elapsed = s.clock
+		result.SettledTime = s.tree.TimeOf(settlement.Tip)
+		result.InitialDifficulty = cfg.Time.Difficulty.Initial
+		result.FinalDifficulty = s.currentDifficulty()
+		if s.ctrl != nil {
+			result.Retargets = s.ctrl.Retargets()
+		}
+		s.timeWindows(&result, settlement.Tip)
+	}
 	return result, nil
 }
 
@@ -328,6 +381,29 @@ func (s Series) TotalAbsolute(scenario core.Scenario) stats.Accumulator {
 // (pool 0: the honest crowd).
 func (s Series) AbsoluteOf(pool mining.PoolID, scenario core.Scenario) stats.Accumulator {
 	return s.Mean(func(r Result) float64 { return r.AbsoluteOf(pool, scenario) })
+}
+
+// RateOf returns statistics of one pool's time-averaged absolute reward
+// rate across runs (pool 0: the honest crowd). Only meaningful for timed
+// configurations.
+func (s Series) RateOf(pool mining.PoolID) stats.Accumulator {
+	return s.Mean(func(r Result) float64 { return r.RateOf(pool) })
+}
+
+// TotalRate returns statistics of the system-wide absolute reward rate.
+func (s Series) TotalRate() stats.Accumulator {
+	return s.Mean(func(r Result) float64 { return r.TotalRate() })
+}
+
+// EarlyRateOf and SteadyRateOf return statistics of one pool's absolute
+// reward rate inside the before- and after-adjustment windows.
+func (s Series) EarlyRateOf(pool mining.PoolID) stats.Accumulator {
+	return s.Mean(func(r Result) float64 { return r.Early.RateOf(pool) })
+}
+
+// SteadyRateOf returns statistics of one pool's steady-window reward rate.
+func (s Series) SteadyRateOf(pool mining.PoolID) stats.Accumulator {
+	return s.Mean(func(r Result) float64 { return r.Steady.RateOf(pool) })
 }
 
 // HonestUncleDistribution merges the honest uncle-distance counters of all

@@ -23,6 +23,7 @@ import (
 
 	"github.com/ethselfish/ethselfish/internal/chain"
 	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/rewards"
 	"github.com/ethselfish/ethselfish/internal/rng"
@@ -92,6 +93,12 @@ type Config struct {
 	// attack.
 	PoolOmitsUncleRefs bool
 
+	// Time configures the continuous-time axis: exponential inter-arrival
+	// times paced by difficulty, per-block timestamps, and an optional
+	// engine-driven difficulty controller. The zero value keeps the
+	// timeless block-count engine, bit-identical to the pre-time path.
+	Time TimeConfig
+
 	// Parallelism bounds the worker goroutines RunMany fans independent
 	// runs across. Zero means runtime.GOMAXPROCS(0); one forces
 	// sequential execution. The setting never changes results: per-run
@@ -106,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Strategy == nil {
 		c.Strategy = Algorithm1{}
+	}
+	if c.Time.Enabled {
+		c.Time.Difficulty = c.Time.Difficulty.WithDefaults()
 	}
 	return c
 }
@@ -125,6 +135,11 @@ func (c Config) validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("%w: negative parallelism", ErrBadConfig)
+	}
+	if c.Time.Enabled {
+		if err := c.Time.Difficulty.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
 	}
 	if c.Strategies != nil {
 		if got, want := len(c.Strategies), c.Population.NumPools(); got != want {
@@ -202,6 +217,22 @@ type simulator struct {
 	cfg    Config
 	random *rng.Source
 	tree   *chain.Tree
+
+	// Continuous-time state (see time.go). timing mirrors
+	// cfg.Time.Enabled; clock is the simulation time, advanced by one
+	// exponential draw from the dedicated timeRandom stream per event so
+	// the event/race stream is identical with time on or off. ctrl is the
+	// engine-driven difficulty controller (nil when disabled or static;
+	// staticDifficulty paces the clock then), observedTo the deepest
+	// settled block already fed to it, and obsScratch the reusable
+	// settled-segment buffer.
+	timing           bool
+	clock            float64
+	staticDifficulty float64
+	timeRandom       *rng.Source
+	ctrl             *difficulty.Controller
+	observedTo       chain.BlockID
+	obsScratch       []chain.BlockID
 
 	// published[id] reports whether honest miners can see the block.
 	// Unpublished blocks are additionally visible to the pool that mined
@@ -356,6 +387,7 @@ func (s *simulator) init(cfg Config) {
 	if cap(s.chainScratch) < window+2 {
 		s.chainScratch = make([]chain.BlockID, 0, window+2)
 	}
+	s.initTime(cfg)
 }
 
 // frame returns pool index i's race frame: the (Ls, Lh, published) triple
@@ -449,7 +481,7 @@ func (s *simulator) extend(parent chain.BlockID, miner chain.MinerID, uncles []c
 			s.referencedInWindow++
 		}
 	}
-	id, err := s.tree.Extend(parent, miner, uncles)
+	id, err := s.tree.ExtendAt(parent, miner, uncles, s.clock)
 	if err != nil {
 		// Roll the count back: the tree rejected the block.
 		for _, u := range uncles {
@@ -928,6 +960,9 @@ func (s *simulator) run() error {
 	pop := s.cfg.Population
 	for i := 0; i < s.cfg.Blocks; i++ {
 		s.recordState()
+		if s.timing {
+			s.advanceClock()
+		}
 		miner := pop.Sample(s.random)
 		var err error
 		if miner.Pool != mining.HonestPool {
@@ -937,6 +972,9 @@ func (s *simulator) run() error {
 		}
 		if err != nil {
 			return err
+		}
+		if s.ctrl != nil {
+			s.observeSettled()
 		}
 	}
 	return nil

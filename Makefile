@@ -6,7 +6,7 @@ GO ?= go
 # Baseline file consumed by bench-compare; create it with bench-baseline.
 BENCH_BASELINE ?= bench-baseline.json
 
-.PHONY: check build vet test race fuzz-smoke bench bench-json bench-baseline bench-compare bench-smoke
+.PHONY: check build vet test race chaos-smoke fuzz-smoke bench bench-json bench-baseline bench-compare bench-smoke
 
 # How long each fuzz target runs in fuzz-smoke; CI uses the default.
 FUZZTIME ?= 10s
@@ -22,20 +22,32 @@ vet:
 test: build
 	$(GO) test ./...
 
-# The parallel engine's determinism tests double as its data-race check.
-# -short skips the full best-response grid search, which the plain test
-# target already covers; everything else (including the tournament's
-# parallel-vs-sequential check over parametric strategies) runs under the
-# detector.
+# The parallel engine's determinism tests double as its data-race check,
+# and its cancellation tests verify prompt return, deterministic partial
+# results, and no goroutine leaks under the detector. -short skips the full
+# best-response grid search, which the plain test target already covers;
+# everything else (including the tournament's parallel-vs-sequential check
+# over parametric strategies and the chaos fault-injection suite) runs
+# under the detector.
 race:
-	$(GO) test -race -short ./internal/parallel ./internal/sim ./internal/experiments
+	$(GO) test -race -short ./internal/parallel ./internal/sim ./internal/experiments ./internal/chaos
+
+# The chaos suite alone (adversarial strategies, injected worker
+# panics/errors, and corrupted trace decoding must all fail closed with
+# typed errors and leave Runners reusable), plus one sampled-audit
+# experiment end to end through the CLI.
+chaos-smoke:
+	$(GO) test -race ./internal/chaos
+	$(GO) run ./cmd/ethselfish -quick -runs 1 -blocks 20000 -audit -audit-every 256 table2 >/dev/null
 
 # Short randomized passes over the simulator's fuzz targets (the strategy
-# gate and the random-legal-reaction property); Go allows one -fuzz target
-# per invocation, hence the two runs.
+# gate and the random-legal-reaction property) and the checkpoint-journal
+# decoder; Go allows one -fuzz target per invocation, hence the separate
+# runs.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzValidateReaction -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=NONE -fuzz=FuzzRandomLegalStrategySimulation -fuzztime=$(FUZZTIME) ./internal/sim
+	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/experiments
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .

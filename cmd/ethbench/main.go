@@ -169,6 +169,30 @@ func benchmarks() []benchmark {
 				}
 			}
 		}},
+		{name: "sim-100k-blocks-audit-sampled", run: func(b *testing.B, parallel int) {
+			// The invariant auditor at its CI-friendly sampling rate.
+			// The fork-child rescan and conservation settle make audited
+			// events expensive, so sampling must amortize them to a
+			// small overhead on top of the plain 100k bench (the audit
+			// itself allocates; only the unaudited path is gated
+			// allocation-free).
+			pop, err := mining.TwoAgent(0.35)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     100000,
+					Seed:       uint64(i),
+					Audit:      sim.AuditConfig{Enabled: true, SampleEvery: 1024},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{name: "runmany-10x20k", run: func(b *testing.B, parallel int) {
 			pop, err := mining.TwoAgent(0.35)
 			if err != nil {

@@ -27,15 +27,30 @@
 //	-rule R        comma-separated difficulty rules (static, bitcoin,
 //	               eip100) restricting the profitability experiment's rule
 //	               axis (default: all three)
+//	-timeout D     overall deadline for the invocation (e.g. 30m); on
+//	               expiry in-flight runs finish, then the sweep stops
+//	-checkpoint F  journal completed (grid-point x run) rows to file F and
+//	               resume from any rows already journaled there; rerunning
+//	               the same command after an interrupt continues where it
+//	               stopped and produces bit-identical output
+//	-audit         enable the simulator's runtime invariant auditor
+//	-audit-every N audit every Nth block event (default 1024; 1 checks
+//	               every event). Only meaningful with -audit
 //	-list          enumerate experiments and registered strategy specs
 //	-csv           emit CSV instead of aligned text
+//
+// Interrupting with ^C stops dispatching new simulation runs and lets
+// in-flight runs drain before exiting; a second ^C kills immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"github.com/ethselfish/ethselfish/internal/difficulty"
@@ -45,13 +60,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Once the first interrupt cancels ctx, restore default signal
+	// handling so a second ^C kills the process instead of waiting for
+	// the graceful drain.
+	context.AfterFunc(ctx, stop)
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ethselfish:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ethselfish", flag.ContinueOnError)
 	var (
 		quick      = fs.Bool("quick", false, "reduced simulation effort")
@@ -61,6 +82,10 @@ func run(args []string, w io.Writer) error {
 		parallel   = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
 		strategies = fs.String("strategies", "", "comma-separated strategy specs for strategies/tournament (not bestresponse)")
 		rule       = fs.String("rule", "", "comma-separated difficulty rules for profitability (static, bitcoin, eip100)")
+		timeout    = fs.Duration("timeout", 0, "overall deadline (0: none); in-flight runs finish on expiry")
+		checkpoint = fs.String("checkpoint", "", "journal completed rows to this file and resume from it")
+		audit      = fs.Bool("audit", false, "enable the runtime invariant auditor")
+		auditEvery = fs.Int("audit-every", 1024, "audit every Nth block event (with -audit)")
 		list       = fs.Bool("list", false, "list experiments and registered strategy specs")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
@@ -100,6 +125,21 @@ func run(args []string, w io.Writer) error {
 		})
 	}
 	opts.Parallelism = *parallel
+	opts.Audit = sim.AuditConfig{Enabled: *audit, SampleEvery: *auditEvery}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts.Ctx = ctx
+	if *checkpoint != "" {
+		ck, err := experiments.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			return err
+		}
+		defer ck.Close()
+		opts.Checkpoint = ck
+	}
 
 	specs, err := parseSpecList(*strategies)
 	if err != nil {
@@ -125,10 +165,20 @@ func run(args []string, w io.Writer) error {
 	if len(specs) > 0 && name == "bestresponse" {
 		return fmt.Errorf("bestresponse searches the whole stubborn family; -strategies is not supported (use strategies or tournament)")
 	}
+	// An interrupted sweep is resumable when journaled; say so instead of
+	// leaving a bare "context canceled".
+	finish := func(err error) error {
+		if err != nil && *checkpoint != "" &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return fmt.Errorf("%w (completed rows are journaled in %s; rerun the same command to resume)",
+				err, *checkpoint)
+		}
+		return err
+	}
 	if name == "all" {
 		for _, exp := range experimentNames() {
 			if err := emit(w, exp, opts, specs, rules, *csv); err != nil {
-				return err
+				return finish(err)
 			}
 			if _, err := fmt.Fprintln(w); err != nil {
 				return err
@@ -136,7 +186,7 @@ func run(args []string, w io.Writer) error {
 		}
 		return nil
 	}
-	return emit(w, name, opts, specs, rules, *csv)
+	return finish(emit(w, name, opts, specs, rules, *csv))
 }
 
 // parseRuleList parses a comma-separated list of difficulty rule names,

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -12,7 +16,7 @@ import (
 func TestRunStaticExperiments(t *testing.T) {
 	for _, name := range []string{"table1", "fig6", "fig7"} {
 		var b strings.Builder
-		if err := run([]string{name}, &b); err != nil {
+		if err := run(context.Background(), []string{name}, &b); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if b.Len() == 0 {
@@ -23,7 +27,7 @@ func TestRunStaticExperiments(t *testing.T) {
 
 func TestRunQuickSimExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-quick", "table2"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-quick", "table2"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Expectation") {
@@ -33,7 +37,7 @@ func TestRunQuickSimExperiment(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-csv", "fig6"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-csv", "fig6"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(b.String(), "pool,share") {
@@ -43,17 +47,17 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"nonsense"}, &b); err == nil {
+	if err := run(context.Background(), []string{"nonsense"}, &b); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if err := run([]string{}, &b); err == nil {
+	if err := run(context.Background(), []string{}, &b); err == nil {
 		t.Error("missing experiment should fail")
 	}
 }
 
 func TestRunList(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-list"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -77,14 +81,14 @@ func TestRunList(t *testing.T) {
 			t.Errorf("-list missing %q:\n%s", want, out)
 		}
 	}
-	if err := run([]string{"-list", "fig8"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-list", "fig8"}, &b); err == nil {
 		t.Error("-list with an experiment argument should fail")
 	}
 }
 
 func TestRunTournamentFromSpecStrings(t *testing.T) {
 	var b strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-quick", "-runs", "1", "-blocks", "2000",
 		"-strategies", "algorithm1,stubborn:lead=1,trail=2",
 		"tournament",
@@ -103,7 +107,7 @@ func TestRunTournamentFromSpecStrings(t *testing.T) {
 
 func TestRunStrategiesFromSpecStrings(t *testing.T) {
 	var b strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-quick", "-runs", "1", "-blocks", "2000",
 		"-strategies", "honest,eager-publish-3",
 		"strategies",
@@ -120,21 +124,21 @@ func TestRunStrategiesFromSpecStrings(t *testing.T) {
 func TestRunRejectsBadSpecStrings(t *testing.T) {
 	var b strings.Builder
 	for _, specs := range []string{"nonsense", "stubborn:lead=9", "stubborn:depth=1"} {
-		if err := run([]string{"-strategies", specs, "tournament"}, &b); err == nil {
+		if err := run(context.Background(), []string{"-strategies", specs, "tournament"}, &b); err == nil {
 			t.Errorf("-strategies %q should fail before simulating", specs)
 		}
 	}
 	// A lone entrant is rejected up front, even for "all" — before the
 	// sweep burns through every earlier experiment.
 	for _, name := range []string{"tournament", "all"} {
-		err := run([]string{"-strategies", "honest", name}, &b)
+		err := run(context.Background(), []string{"-strategies", "honest", name}, &b)
 		if err == nil || !strings.Contains(err.Error(), "at least 2 specs") {
 			t.Errorf("%s with one spec: err = %v, want early entrant-count rejection", name, err)
 		}
 	}
 	// bestresponse searches a fixed grid; -strategies is rejected
 	// rather than silently ignored.
-	err := run([]string{"-strategies", "algorithm1,stubborn:trail=4", "bestresponse"}, &b)
+	err := run(context.Background(), []string{"-strategies", "algorithm1,stubborn:trail=4", "bestresponse"}, &b)
 	if err == nil || !strings.Contains(err.Error(), "not supported") {
 		t.Errorf("bestresponse with -strategies: err = %v, want rejection", err)
 	}
@@ -178,7 +182,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Skip("paper harness end-to-end run is slow")
 	}
 	var b strings.Builder
-	if err := run([]string{"-quick", "-runs", "1", "-blocks", "4000", "all"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-runs", "1", "-blocks", "4000", "all"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -193,9 +197,66 @@ func TestRunAllQuick(t *testing.T) {
 	}
 }
 
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	err := run(ctx, []string{"-quick", "-runs", "1", "-blocks", "2000", "table2"}, &b)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// The resume hint appears only when a checkpoint would hold the
+	// completed rows.
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	err = run(ctx, []string{"-quick", "-runs", "1", "-blocks", "2000", "-checkpoint", ckpt, "table2"}, &b)
+	if !errors.Is(err, context.Canceled) || !strings.Contains(err.Error(), "rerun the same command to resume") {
+		t.Errorf("err = %v, want context.Canceled with a resume hint", err)
+	}
+}
+
+func TestRunCheckpointFlag(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	args := []string{"-quick", "-runs", "1", "-blocks", "2000", "-checkpoint", ckpt, "table2"}
+	var first, second strings.Builder
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	// The second invocation replays the journal instead of recomputing;
+	// output must be bit-identical.
+	if err := run(context.Background(), args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("checkpointed rerun produced different output")
+	}
+	// A corrupt journal is rejected up front, not silently resumed.
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-quick", "-checkpoint", bad, "table2"}, &second)
+	if !errors.Is(err, experiments.ErrJournal) {
+		t.Errorf("corrupt checkpoint err = %v, want ErrJournal", err)
+	}
+}
+
+func TestRunAuditFlag(t *testing.T) {
+	var plain, audited strings.Builder
+	if err := run(context.Background(), []string{"-quick", "-runs", "1", "-blocks", "2000", "table2"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-quick", "-runs", "1", "-blocks", "2000", "-audit", "-audit-every", "1", "table2"}, &audited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != audited.String() {
+		t.Error("auditing changed experiment output")
+	}
+}
+
 func TestRunProfitabilityRuleFlag(t *testing.T) {
 	var b strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-quick", "-runs", "1", "-blocks", "3000",
 		"-rule", "eip100,bitcoin", "profitability",
 	}, &b)
@@ -210,10 +271,10 @@ func TestRunProfitabilityRuleFlag(t *testing.T) {
 		t.Errorf("profitability output contains unrequested static rule:\n%s", out)
 	}
 	// Bad rules and misplaced -rule fail before any simulation.
-	if err := run([]string{"-rule", "bogus", "profitability"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-rule", "bogus", "profitability"}, &b); err == nil {
 		t.Error("-rule bogus should fail")
 	}
-	if err := run([]string{"-rule", "eip100", "fig8"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-rule", "eip100", "fig8"}, &b); err == nil {
 		t.Error("-rule with a non-profitability experiment should fail")
 	}
 }

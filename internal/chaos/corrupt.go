@@ -1,0 +1,52 @@
+package chaos
+
+// Corruptions generates deterministic malformed variants of a serialized
+// document for fail-closed decoder tests. Every variant is guaranteed to be
+// invalid input — not merely different — so a decoder accepting any of them
+// is broken:
+//
+//   - an empty document,
+//   - truncations that cut the document strictly before its final bytes
+//     (an unterminated JSON value),
+//   - digit smashes that replace one numeric digit with '}' (a guaranteed
+//     syntax error in any JSON document whose strings contain no digits).
+//
+// Variants derive from seed alone; the same (data, seed, n) always yields
+// the same corruptions.
+func Corruptions(data []byte, seed uint64, n int) [][]byte {
+	out := make([][]byte, 0, n)
+	if n <= 0 {
+		return out
+	}
+	out = append(out, []byte{})
+	digits := digitPositions(data)
+	h := mix(seed)
+	for kind := 0; len(out) < n; kind++ {
+		h = mix(h)
+		switch {
+		case kind%2 == 0 && len(data) > 2:
+			// Cut in [1, len-2]: the closing brace is always lost.
+			cut := 1 + int(h%uint64(len(data)-2))
+			out = append(out, append([]byte{}, data[:cut]...))
+		case len(digits) > 0:
+			pos := digits[int(h%uint64(len(digits)))]
+			smashed := append([]byte{}, data...)
+			smashed[pos] = '}'
+			out = append(out, smashed)
+		default:
+			return out // nothing left to corrupt deterministically
+		}
+	}
+	return out
+}
+
+// digitPositions returns the offsets of all ASCII digits in data.
+func digitPositions(data []byte) []int {
+	var out []int
+	for i, b := range data {
+		if b >= '0' && b <= '9' {
+			out = append(out, i)
+		}
+	}
+	return out
+}

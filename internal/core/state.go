@@ -10,7 +10,11 @@
 // transition, following the probabilistic tracking of Appendix B.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // State is one state (Ls, Lh) of the selfish-mining Markov process.
 type State struct {
@@ -41,6 +45,31 @@ func (s State) Valid() bool {
 
 // String implements fmt.Stringer.
 func (s State) String() string { return fmt.Sprintf("(%d,%d)", s.S, s.H) }
+
+// MarshalText encodes the state as "s,h", making State usable as a JSON map
+// key (occupancy maps are serialized by the experiments checkpoint
+// journal).
+func (s State) MarshalText() ([]byte, error) {
+	return []byte(strconv.Itoa(s.S) + "," + strconv.Itoa(s.H)), nil
+}
+
+// UnmarshalText decodes the "s,h" form produced by MarshalText.
+func (s *State) UnmarshalText(text []byte) error {
+	a, b, ok := strings.Cut(string(text), ",")
+	if !ok {
+		return fmt.Errorf("core: state %q is not of the form s,h", text)
+	}
+	sv, err := strconv.Atoi(a)
+	if err != nil {
+		return fmt.Errorf("core: state %q: %w", text, err)
+	}
+	hv, err := strconv.Atoi(b)
+	if err != nil {
+		return fmt.Errorf("core: state %q: %w", text, err)
+	}
+	s.S, s.H = sv, hv
+	return nil
+}
 
 // start is the consensus state (0,0).
 var start = State{}

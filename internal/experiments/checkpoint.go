@@ -1,0 +1,432 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"sync"
+
+	"github.com/ethselfish/ethselfish/internal/rewards"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+// This file is the sweep checkpoint journal: the experiments engine records
+// every completed (grid-point × run) row keyed by a canonical hash of the
+// sweep's full configuration, so an interrupted sweep resumes without
+// recompute — and, because per-run seeds are a pure function of the sweep
+// options (determinism invariant 3), a resumed sweep's output is
+// bit-identical to an uninterrupted one. The hash/journal pair is the seed
+// of the planned ethserved content-addressed result cache.
+//
+// Format: JSON lines. The first line is {"version":1}; a sweep section
+// starts with {"sweep":{...}} naming the config hash and grid dimensions,
+// and each {"row":{...}} line attaches one completed run to the most recent
+// header. One file holds many sections — multi-sweep drivers (tournament,
+// best-response) and resumed sessions append sections freely, including
+// repeated headers for the same sweep.
+//
+// The decoder is strict: a malformed line, a row without a header, a
+// duplicate or out-of-range row, conflicting headers, or a truncated tail
+// (any final line without its newline — the mark of a crash mid-write)
+// rejects the whole journal with ErrJournal rather than silently resuming
+// from corrupt state. Rows are written line-atomically under a lock, and a
+// graceful cancellation (SIGINT, -timeout) only stops dispatch, so
+// journals written by this engine always end cleanly; a journal torn by a
+// hard kill must be deleted (or repaired to a line boundary) by hand.
+
+// ErrJournal is returned when a checkpoint journal is malformed.
+var ErrJournal = errors.New("experiments: invalid checkpoint journal")
+
+// journalVersion identifies the journal format.
+const journalVersion = 1
+
+// sweepHeader is the journal's sweep-section header: the canonical config
+// hash plus the grid dimensions, which bound the rows that may follow.
+type sweepHeader struct {
+	Hash   string `json:"hash"`
+	Jobs   int    `json:"jobs"`
+	Runs   int    `json:"runs"`
+	Blocks int    `json:"blocks"`
+	Seed   uint64 `json:"seed"`
+}
+
+// journalRow is one completed (grid-point × run) result.
+type journalRow struct {
+	Job    int        `json:"job"`
+	Run    int        `json:"run"`
+	Seed   uint64     `json:"seed"`
+	Result sim.Result `json:"result"`
+}
+
+// journalLine is the union shape of every line after the version line.
+type journalLine struct {
+	Sweep *sweepHeader `json:"sweep,omitempty"`
+	Row   *journalRow  `json:"row,omitempty"`
+}
+
+// rowKey addresses one row within a sweep section.
+type rowKey struct {
+	job, run int
+}
+
+// savedRow is one journaled result held in memory.
+type savedRow struct {
+	seed   uint64
+	result sim.Result
+}
+
+// sweepRows collects one sweep's journaled rows.
+type sweepRows struct {
+	header sweepHeader
+	rows   map[rowKey]savedRow
+}
+
+// Checkpoint is an open checkpoint journal: the parsed contents of the
+// file plus an append handle for new rows. It is safe for concurrent use
+// by the engine's workers. Open with OpenCheckpoint; pass it to sweeps via
+// Options.Checkpoint; Close it when the sweeps are done.
+type Checkpoint struct {
+	mu     sync.Mutex
+	file   *os.File
+	sweeps map[string]*sweepRows
+
+	// current is the hash of the journal's most recent on-disk header;
+	// record emits a new header line whenever the sweep changes.
+	current string
+}
+
+// OpenCheckpoint opens (creating if needed) the journal at path, strictly
+// validating any existing contents. A corrupt or truncated journal is
+// rejected with ErrJournal — it is never silently resumed from.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("experiments: reading checkpoint: %w", err)
+	}
+	sweeps, current, err := decodeJournal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (delete or repair %s to start over)", err, path)
+	}
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: opening checkpoint: %w", err)
+	}
+	c := &Checkpoint{file: file, sweeps: sweeps, current: current}
+	if len(data) == 0 {
+		if err := c.writeLine(map[string]int{"version": journalVersion}); err != nil {
+			file.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Close releases the journal's append handle. Sweeps must not record to a
+// closed checkpoint.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file.Close()
+}
+
+// Rows returns the number of journaled rows for the given sweep hash —
+// how much of a sweep a resume will skip.
+func (c *Checkpoint) Rows(hash string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.sweeps[hash]; s != nil {
+		return len(s.rows)
+	}
+	return 0
+}
+
+// lookup returns the journaled result of (job, run) under hash, verifying
+// that the journaled seed matches the derived one (a mismatch means hash
+// collision or tampering and poisons the whole journal).
+func (c *Checkpoint) lookup(hash string, job, run int, seed uint64) (sim.Result, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sweeps[hash]
+	if s == nil {
+		return sim.Result{}, false, nil
+	}
+	row, ok := s.rows[rowKey{job, run}]
+	if !ok {
+		return sim.Result{}, false, nil
+	}
+	if row.seed != seed {
+		return sim.Result{}, false, fmt.Errorf(
+			"%w: sweep %.12s row (%d,%d) journaled under seed %d, derived %d",
+			ErrJournal, hash, job, run, row.seed, seed)
+	}
+	return row.result, true, nil
+}
+
+// record journals one completed row: appends it to the file (emitting a
+// sweep header first when the section changes) and indexes it in memory.
+// Duplicate records of the same row are ignored — a cancelled MapWithCtx
+// dispatch can legitimately re-reach rows the journal already holds.
+func (c *Checkpoint) record(header sweepHeader, job, run int, seed uint64, result sim.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sweeps[header.Hash]
+	if s == nil {
+		s = &sweepRows{header: header, rows: make(map[rowKey]savedRow)}
+		c.sweeps[header.Hash] = s
+	} else if s.header != header {
+		return fmt.Errorf("%w: sweep %.12s journaled with conflicting dimensions", ErrJournal, header.Hash)
+	}
+	if _, dup := s.rows[rowKey{job, run}]; dup {
+		return nil
+	}
+	if c.current != header.Hash {
+		if err := c.writeLine(journalLine{Sweep: &header}); err != nil {
+			return err
+		}
+		c.current = header.Hash
+	}
+	if err := c.writeLine(journalLine{Row: &journalRow{Job: job, Run: run, Seed: seed, Result: result}}); err != nil {
+		return err
+	}
+	s.rows[rowKey{job, run}] = savedRow{seed: seed, result: result}
+	return nil
+}
+
+// writeLine appends one JSON line to the journal. Must be called with the
+// lock held.
+func (c *Checkpoint) writeLine(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiments: encoding checkpoint line: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := c.file.Write(line); err != nil {
+		return fmt.Errorf("experiments: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// decodeJournal strictly parses a journal's bytes. It returns the indexed
+// sweeps and the hash of the last header (the section an append would
+// continue). Empty input is a fresh journal.
+func decodeJournal(data []byte) (map[string]*sweepRows, string, error) {
+	sweeps := make(map[string]*sweepRows)
+	if len(data) == 0 {
+		return sweeps, "", nil
+	}
+	if data[len(data)-1] != '\n' {
+		return nil, "", fmt.Errorf("%w: truncated final line", ErrJournal)
+	}
+	lines := bytes.Split(data[:len(data)-1], []byte("\n"))
+	var version struct {
+		Version int `json:"version"`
+	}
+	if err := strictUnmarshal(lines[0], &version); err != nil {
+		return nil, "", fmt.Errorf("%w: line 1: %v", ErrJournal, err)
+	}
+	if version.Version != journalVersion {
+		return nil, "", fmt.Errorf("%w: unsupported version %d", ErrJournal, version.Version)
+	}
+	var current *sweepRows
+	currentHash := ""
+	for i, raw := range lines[1:] {
+		lineNo := i + 2
+		var line journalLine
+		if err := strictUnmarshal(raw, &line); err != nil {
+			return nil, "", fmt.Errorf("%w: line %d: %v", ErrJournal, lineNo, err)
+		}
+		switch {
+		case line.Sweep != nil && line.Row != nil:
+			return nil, "", fmt.Errorf("%w: line %d: both sweep and row", ErrJournal, lineNo)
+		case line.Sweep != nil:
+			h := *line.Sweep
+			if len(h.Hash) != sha256.Size*2 || !isHex(h.Hash) {
+				return nil, "", fmt.Errorf("%w: line %d: malformed sweep hash", ErrJournal, lineNo)
+			}
+			if h.Jobs <= 0 || h.Runs <= 0 || h.Blocks <= 0 {
+				return nil, "", fmt.Errorf("%w: line %d: non-positive sweep dimensions", ErrJournal, lineNo)
+			}
+			if existing := sweeps[h.Hash]; existing != nil {
+				// A resumed session repeats the header; it must agree.
+				if existing.header != h {
+					return nil, "", fmt.Errorf("%w: line %d: sweep %.12s re-declared with different dimensions",
+						ErrJournal, lineNo, h.Hash)
+				}
+				current = existing
+			} else {
+				current = &sweepRows{header: h, rows: make(map[rowKey]savedRow)}
+				sweeps[h.Hash] = current
+			}
+			currentHash = h.Hash
+		case line.Row != nil:
+			if current == nil {
+				return nil, "", fmt.Errorf("%w: line %d: row before any sweep header", ErrJournal, lineNo)
+			}
+			r := line.Row
+			if r.Job < 0 || r.Job >= current.header.Jobs || r.Run < 0 || r.Run >= current.header.Runs {
+				return nil, "", fmt.Errorf("%w: line %d: row (%d,%d) outside the %dx%d grid",
+					ErrJournal, lineNo, r.Job, r.Run, current.header.Jobs, current.header.Runs)
+			}
+			key := rowKey{r.Job, r.Run}
+			if _, dup := current.rows[key]; dup {
+				return nil, "", fmt.Errorf("%w: line %d: row (%d,%d) duplicated", ErrJournal, lineNo, r.Job, r.Run)
+			}
+			result := r.Result
+			result.RestoreAliases()
+			current.rows[key] = savedRow{seed: r.Seed, result: result}
+		default:
+			return nil, "", fmt.Errorf("%w: line %d: neither sweep nor row", ErrJournal, lineNo)
+		}
+	}
+	return sweeps, currentHash, nil
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields and
+// trailing garbage.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// isHex reports whether s is entirely lowercase hex.
+func isHex(s string) bool {
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepHash computes the canonical hash identifying one runSimGrid sweep:
+// the options that shape the work (runs, blocks, seed) and, per job, the
+// point's seed family plus a fingerprint of the fully resolved simulation
+// config. Two sweeps share a hash exactly when determinism guarantees they
+// produce identical rows, so journaled rows are safe to reuse across
+// sessions — the content-address of the future ethserved result cache.
+func sweepHash(opts Options, jobs []simJob, configs []sim.Config) string {
+	h := sha256.New()
+	w := hashWriter{h: h}
+	w.str("ethselfish-sweep-v1")
+	w.u64(uint64(opts.Runs))
+	w.u64(uint64(opts.Blocks))
+	w.u64(opts.Seed)
+	w.u64(uint64(len(jobs)))
+	for j, job := range jobs {
+		cfg := configs[j]
+		w.str("job")
+		w.f64(job.alpha)
+		w.u64(pointSeed(opts, job.alpha))
+		w.f64(cfg.Gamma)
+		w.u64(uint64(cfg.MaxUnclesPerBlock))
+		w.bool(cfg.PoolOmitsUncleRefs)
+		w.bool(cfg.Time.Enabled)
+		if cfg.Time.Enabled {
+			d := cfg.Time.Difficulty
+			w.u64(uint64(d.Rule))
+			w.f64(d.TargetRate)
+			w.u64(uint64(d.Epoch))
+			w.f64(d.Initial)
+		}
+		fingerprintSchedule(&w, cfg)
+		fingerprintPopulation(&w, cfg)
+		fingerprintStrategies(&w, cfg)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fingerprintSchedule hashes the reward schedule: its name and depth plus
+// probed reward values, so two same-named schedules with different payouts
+// cannot collide.
+func fingerprintSchedule(w *hashWriter, cfg sim.Config) {
+	sched := cfg.Schedule
+	if sched.MaxDepth() == 0 {
+		// The simulator substitutes Ethereum for the zero schedule, so the
+		// fingerprint must too or a defaulted and an explicit config would
+		// hash differently despite identical results.
+		sched = rewards.Ethereum()
+	}
+	w.str(sched.Name())
+	w.u64(uint64(sched.MaxDepth()))
+	probe := sched.MaxDepth()
+	if probe > 8 {
+		probe = 8
+	}
+	for d := 1; d <= probe; d++ {
+		w.f64(sched.Uncle(d))
+		w.f64(sched.Nephew(d))
+	}
+}
+
+// fingerprintPopulation hashes the miner set: count, and each miner's ID,
+// power, and pool label.
+func fingerprintPopulation(w *hashWriter, cfg sim.Config) {
+	pop := cfg.Population
+	w.u64(uint64(pop.Len()))
+	for i := 0; i < pop.Len(); i++ {
+		m := pop.Miner(i)
+		w.u64(uint64(m.ID))
+		w.f64(m.Power)
+		w.u64(uint64(m.Pool))
+	}
+}
+
+// fingerprintStrategies hashes the resolved per-pool strategy names
+// (Strategy.Name returns the canonical registry spec, so equal names mean
+// equal behavior).
+func fingerprintStrategies(w *hashWriter, cfg sim.Config) {
+	if cfg.Strategies != nil {
+		w.u64(uint64(len(cfg.Strategies)))
+		for _, s := range cfg.Strategies {
+			w.str(s.Name())
+		}
+		return
+	}
+	w.u64(1)
+	if cfg.Strategy != nil {
+		w.str(cfg.Strategy.Name())
+	} else {
+		w.str(sim.Algorithm1{}.Name())
+	}
+}
+
+// hashWriter streams length-prefixed primitives into a hash, so adjacent
+// fields can never alias each other.
+type hashWriter struct {
+	h   interface{ Write([]byte) (int, error) }
+	buf [8]byte
+}
+
+func (w *hashWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *hashWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *hashWriter) bool(v bool) {
+	if v {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func (w *hashWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}

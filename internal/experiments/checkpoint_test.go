@@ -1,0 +1,477 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+func testJobs() []simJob {
+	alphas := []float64{0.2, 0.35}
+	jobs := make([]simJob, len(alphas))
+	for i, alpha := range alphas {
+		jobs[i] = simJob{alpha: alpha, build: func(*mining.Population) sim.Config {
+			return sim.Config{Gamma: 0.5}
+		}}
+	}
+	return jobs
+}
+
+func journalLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Fatalf("journal %s does not end with a newline", path)
+	}
+	return strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+}
+
+// TestCheckpointResumeBitIdentical is the golden resume test: a sweep
+// journaled to a checkpoint, truncated to a prefix of its rows (as an
+// interrupt would leave it), then resumed, produces output bit-identical to
+// an uninterrupted sweep — and the resumed journal converges to the same
+// complete row set.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	opts := Options{Runs: 3, Blocks: 2000, Seed: 11, Parallelism: 4}
+	jobs := testJobs()
+	want, err := runSimGrid(opts, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = ck
+	got, err := runSimGrid(opts, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("checkpointed sweep differs from plain sweep")
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1 version + 1 header + 2 jobs * 3 runs rows.
+	lines := journalLines(t, path)
+	const wantLines = 2 + 2*3
+	if len(lines) != wantLines {
+		t.Fatalf("journal has %d lines, want %d", len(lines), wantLines)
+	}
+
+	// Interrupt mid-sweep: keep the version line, the header, and the
+	// first two completed rows.
+	trunc := filepath.Join(dir, "interrupted.ckpt")
+	partial := strings.Join(lines[:4], "\n") + "\n"
+	if err := os.WriteFile(trunc, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	opts.Checkpoint = ck2
+	resumed, err := runSimGrid(opts, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, want) {
+		t.Error("resumed sweep differs from uninterrupted sweep")
+	}
+	if got := len(journalLines(t, trunc)); got != wantLines {
+		t.Errorf("resumed journal has %d lines, want %d", got, wantLines)
+	}
+
+	// A sweep resumed from a complete journal recomputes nothing and
+	// appends nothing.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck3, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck3.Close()
+	opts.Checkpoint = ck3
+	replayed, err := runSimGrid(opts, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, want) {
+		t.Error("fully journaled sweep differs from plain sweep")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("replaying a complete journal modified the file")
+	}
+}
+
+// TestCheckpointCancelThenResume interrupts a real sweep via context
+// cancellation, then resumes it from the journal the interrupt left behind;
+// the resumed sweep must match an uninterrupted one bit for bit.
+func TestCheckpointCancelThenResume(t *testing.T) {
+	opts := Options{Runs: 4, Blocks: 20000, Seed: 3, Parallelism: 2}
+	jobs := testJobs()
+	want, err := runSimGrid(opts, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	opts.Ctx = ctx
+	opts.Checkpoint = ck
+	if _, err := runSimGrid(opts, jobs); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted sweep err = %v, want nil or context.DeadlineExceeded", err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("journal left by a graceful cancellation must reopen cleanly: %v", err)
+	}
+	defer ck2.Close()
+	opts.Ctx = nil
+	opts.Checkpoint = ck2
+	resumed, err := runSimGrid(opts, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, want) {
+		t.Error("sweep resumed after cancellation differs from uninterrupted sweep")
+	}
+}
+
+// TestCheckpointThroughDriver pins the Options plumbing end to end: a full
+// driver run with a checkpoint is bit-identical to one without, and a
+// second run against the populated journal reproduces it again.
+func TestCheckpointThroughDriver(t *testing.T) {
+	base := Options{Runs: 2, Blocks: 2000, Seed: 5, Parallelism: 4}
+	want, err := Fig8(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "fig8.ckpt")
+	for round := 0; round < 2; round++ {
+		ck, err := OpenCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := base
+		opts.Checkpoint = ck
+		got, err := Fig8(opts)
+		if cerr := ck.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round %d: checkpointed Fig8 differs from plain Fig8", round)
+		}
+	}
+}
+
+// TestCheckpointSeedMismatchRejected: a journaled row whose seed does not
+// match the seed the sweep derives for that coordinate poisons the resume
+// with ErrJournal (it indicates hash collision or tampering), wrapped in a
+// JobError naming the coordinate.
+func TestCheckpointSeedMismatchRejected(t *testing.T) {
+	opts := Options{Runs: 2, Blocks: 1000, Seed: 7, Parallelism: 1}
+	jobs := testJobs()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = ck
+	if _, err := runSimGrid(opts, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper with the last row's seed.
+	lines := journalLines(t, path)
+	var line journalLine
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &line); err != nil || line.Row == nil {
+		t.Fatalf("last journal line is not a row: %v", err)
+	}
+	line.Row.Seed++
+	tampered, err := json.Marshal(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[len(lines)-1] = string(tampered)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	opts.Checkpoint = ck2
+	_, err = runSimGrid(opts, jobs)
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("err = %v, want ErrJournal", err)
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v (%T), want *JobError", err, err)
+	}
+	if je.Point != 1 || je.Run != 1 {
+		t.Errorf("JobError names (%d,%d), want the tampered row (1,1)", je.Point, je.Run)
+	}
+}
+
+// TestJobErrorCoordinates: a failing run surfaces with its grid
+// coordinates and exact seed, reproducible as a single sim.Run.
+func TestJobErrorCoordinates(t *testing.T) {
+	opts := Options{Runs: 2, Blocks: 1000, Seed: 9, Parallelism: 1}
+	jobs := []simJob{
+		{alpha: 0.2, build: func(*mining.Population) sim.Config {
+			return sim.Config{Gamma: 0.5}
+		}},
+		{alpha: 0.3, build: func(*mining.Population) sim.Config {
+			return sim.Config{Gamma: 2} // invalid: gamma must be in [0,1]
+		}},
+	}
+	_, err := runSimGrid(opts, jobs)
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v (%T), want *JobError", err, err)
+	}
+	if !errors.Is(err, sim.ErrBadConfig) {
+		t.Errorf("error chain %v lacks sim.ErrBadConfig", err)
+	}
+	if je.Point != 1 || je.Run != 0 || je.Alpha != 0.3 {
+		t.Errorf("JobError = point %d alpha %g run %d, want point 1 alpha 0.3 run 0",
+			je.Point, je.Alpha, je.Run)
+	}
+	if want := sim.DeriveSeed(pointSeed(opts, 0.3), 0); je.Seed != want {
+		t.Errorf("JobError.Seed = %d, want %d", je.Seed, want)
+	}
+	for _, part := range []string{"grid point 1", "alpha=0.3", "run 0"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Errorf("error %q does not name %q", err, part)
+		}
+	}
+}
+
+// TestSweepHashSensitivity: the canonical hash separates sweeps whose rows
+// could differ and unifies repeats of the same sweep.
+func TestSweepHashSensitivity(t *testing.T) {
+	opts := Options{Runs: 3, Blocks: 2000, Seed: 11}
+	jobs := testJobs()
+	configs := func(o Options, js []simJob, gamma float64) []sim.Config {
+		t.Helper()
+		out := make([]sim.Config, len(js))
+		for j, job := range js {
+			pop, err := mining.TwoAgent(job.alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[j] = sim.Config{Population: pop, Gamma: gamma, Blocks: o.Blocks}
+		}
+		return out
+	}
+
+	base := sweepHash(opts, jobs, configs(opts, jobs, 0.5))
+	if again := sweepHash(opts, jobs, configs(opts, jobs, 0.5)); again != base {
+		t.Error("identical sweeps hash differently")
+	}
+
+	mutate := func(name string, o Options, gamma float64) {
+		if h := sweepHash(o, jobs, configs(o, jobs, gamma)); h == base {
+			t.Errorf("%s: hash unchanged", name)
+		}
+	}
+	seed := opts
+	seed.Seed = 12
+	mutate("seed", seed, 0.5)
+	blocks := opts
+	blocks.Blocks = 4000
+	mutate("blocks", blocks, 0.5)
+	runs := opts
+	runs.Runs = 4
+	mutate("runs", runs, 0.5)
+	mutate("gamma", opts, 0.6)
+
+	// Engine-internal knobs that never change results must not change the
+	// hash either, or every resume with different parallelism would
+	// recompute from scratch.
+	par := opts
+	par.Parallelism = 7
+	par.Audit = sim.AuditConfig{Enabled: true}
+	if h := sweepHash(par, jobs, configs(par, jobs, 0.5)); h != base {
+		t.Error("parallelism/audit changed the sweep hash")
+	}
+}
+
+// TestJournalDecodeStrict: malformed journals are rejected with ErrJournal
+// — never silently accepted.
+func TestJournalDecodeStrict(t *testing.T) {
+	hash := strings.Repeat("ab", 32)
+	header := `{"sweep":{"hash":"` + hash + `","jobs":2,"runs":3,"blocks":1000,"seed":7}}`
+	row := `{"row":{"job":0,"run":0,"seed":1,"result":{}}}`
+	version := `{"version":1}`
+
+	tests := []struct {
+		name    string
+		journal string
+	}{
+		{"truncated final line", version + "\n" + header},
+		{"unsupported version", `{"version":2}` + "\n"},
+		{"garbage first line", "not json\n"},
+		{"empty line", version + "\n\n"},
+		{"unknown field", version + "\n" + `{"bogus":1}` + "\n"},
+		{"neither sweep nor row", version + "\n" + `{}` + "\n"},
+		{"row before header", version + "\n" + row + "\n"},
+		{"malformed hash", version + "\n" + `{"sweep":{"hash":"xyz","jobs":1,"runs":1,"blocks":1,"seed":0}}` + "\n"},
+		{"non-positive dimensions", version + "\n" + `{"sweep":{"hash":"` + hash + `","jobs":0,"runs":3,"blocks":1000,"seed":7}}` + "\n"},
+		{"row out of range", version + "\n" + header + "\n" + `{"row":{"job":2,"run":0,"seed":1,"result":{}}}` + "\n"},
+		{"duplicate row", version + "\n" + header + "\n" + row + "\n" + row + "\n"},
+		{"re-declared header disagrees", version + "\n" + header + "\n" + `{"sweep":{"hash":"` + hash + `","jobs":2,"runs":4,"blocks":1000,"seed":7}}` + "\n"},
+		{"trailing garbage on line", version + "\n" + header + ` extra` + "\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := decodeJournal([]byte(tt.journal)); !errors.Is(err, ErrJournal) {
+				t.Errorf("err = %v, want ErrJournal", err)
+			}
+		})
+	}
+
+	// The valid shapes those cases are mutations of must decode.
+	sweeps, current, err := decodeJournal([]byte(version + "\n" + header + "\n" + row + "\n"))
+	if err != nil {
+		t.Fatalf("valid journal rejected: %v", err)
+	}
+	if current != hash || sweeps[hash] == nil || len(sweeps[hash].rows) != 1 {
+		t.Error("valid journal decoded to the wrong state")
+	}
+	if _, err := OpenCheckpoint(filepath.Join(t.TempDir(), "missing", "nope.ckpt")); err == nil {
+		t.Error("unreachable path accepted")
+	}
+}
+
+// TestResultJSONRoundTrip: the Result encoding round-trips exactly (after
+// RestoreAliases), which is what makes journaled rows interchangeable with
+// freshly computed ones. A timed multi-pool run populates every field.
+func TestResultJSONRoundTrip(t *testing.T) {
+	pop, err := mining.MultiAgent(0.25, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"timeless two-agent", sim.Config{Gamma: 0.5, Blocks: 2000, Seed: 7}},
+		{"timed multi-pool", sim.Config{
+			Population: pop,
+			Gamma:      0.3,
+			Blocks:     3000,
+			Seed:       9,
+			Time:       sim.TimeConfig{Enabled: true},
+			Strategies: []sim.Strategy{sim.Algorithm1{}, sim.Stubborn{Lead: true}},
+		}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := tt.cfg
+			if cfg.Population == nil {
+				p, err := mining.TwoAgent(0.35)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Population = p
+			}
+			want, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got sim.Result
+			if err := json.Unmarshal(data, &got); err != nil {
+				t.Fatal(err)
+			}
+			got.RestoreAliases()
+			if !reflect.DeepEqual(got, want) {
+				t.Error("Result does not round-trip through JSON")
+			}
+		})
+	}
+}
+
+// FuzzJournalDecode: the strict decoder never panics and never accepts a
+// journal with a truncated tail, no matter the input (satellite: corrupted
+// checkpoint files are rejected, never silently resumed).
+func FuzzJournalDecode(f *testing.F) {
+	hash := strings.Repeat("ab", 32)
+	header := `{"sweep":{"hash":"` + hash + `","jobs":2,"runs":3,"blocks":1000,"seed":7}}`
+	row := `{"row":{"job":0,"run":0,"seed":1,"result":{"Alpha":0.35,"Blocks":1000}}}`
+	valid := `{"version":1}` + "\n" + header + "\n" + row + "\n"
+	f.Add([]byte(valid))
+	f.Add([]byte(valid[:len(valid)-1]))
+	f.Add([]byte(`{"version":1}` + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n"))
+	f.Add([]byte(`{"version":1}` + "\n" + header + "\n" + row + "\n" + row + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sweeps, _, err := decodeJournal(data)
+		if err != nil {
+			if !errors.Is(err, ErrJournal) {
+				t.Errorf("error %v does not wrap ErrJournal", err)
+			}
+			return
+		}
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			t.Error("journal without a final newline accepted")
+		}
+		for _, s := range sweeps {
+			for key := range s.rows {
+				if key.job < 0 || key.job >= s.header.Jobs || key.run < 0 || key.run >= s.header.Runs {
+					t.Errorf("accepted out-of-range row %v in %dx%d sweep", key, s.header.Jobs, s.header.Runs)
+				}
+			}
+		}
+	})
+}

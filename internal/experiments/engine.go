@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/ethselfish/ethselfish/internal/mining"
@@ -52,10 +53,39 @@ func pointSeed(opts Options, alpha float64) uint64 {
 	return opts.Seed + uint64(alpha*1e6)
 }
 
+// JobError locates a failure within a sweep: the grid point, its alpha,
+// the run index, and the exact seed of the failing simulation, so a
+// sweep-scale failure can be reproduced as a single sim.Run.
+type JobError struct {
+	// Point is the grid-point (job) index within the sweep.
+	Point int
+
+	// Alpha is the grid point's pool hash-power key.
+	Alpha float64
+
+	// Run is the run index within the point, and Seed the derived seed
+	// of that run.
+	Run  int
+	Seed uint64
+
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("experiments: grid point %d (alpha=%g) run %d (seed %d): %v",
+		e.Point, e.Alpha, e.Run, e.Seed, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
 // runSimGrid executes every (grid-point × run) work item across the
 // engine's workers and returns one Series per job, in job order with runs
 // in run order — bit-identical to running sim.RunMany sequentially at each
-// point.
+// point. Failures carry their sweep coordinates via JobError; cancellation
+// via opts.Ctx returns the context error once in-flight runs drain. With
+// opts.Checkpoint set, completed rows are journaled as they finish and
+// journaled rows are reused instead of recomputed.
 func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 	configs := make([]sim.Config, len(jobs))
 	for j, job := range jobs {
@@ -70,6 +100,7 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 		cfg := job.build(pop)
 		cfg.Population = pop
 		cfg.Blocks = opts.Blocks
+		cfg.Audit = opts.Audit
 		if job.specs != nil {
 			// Strategy instances are pure frame functions, so one
 			// instance per job is safely shared by every worker that
@@ -83,15 +114,47 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 		configs[j] = cfg
 	}
 
+	var header sweepHeader
+	if opts.Checkpoint != nil {
+		header = sweepHeader{
+			Hash:   sweepHash(opts, jobs, configs),
+			Jobs:   len(jobs),
+			Runs:   opts.Runs,
+			Blocks: opts.Blocks,
+			Seed:   opts.Seed,
+		}
+	}
+
 	// Each worker reuses one simulator (tree, arena, scratch) across all
 	// the work items it processes; reuse never changes results, so the
 	// grid stays bit-identical to sequential fresh-simulator runs.
-	results, err := parallel.MapWith(opts.Parallelism, len(jobs)*opts.Runs, sim.NewRunner,
+	results, _, err := parallel.MapWithCtx(opts.Ctx, opts.Parallelism, len(jobs)*opts.Runs, sim.NewRunner,
 		func(rn *sim.Runner, k int) (sim.Result, error) {
 			j, r := k/opts.Runs, k%opts.Runs
+			seed := sim.DeriveSeed(pointSeed(opts, jobs[j].alpha), r)
+			if opts.Checkpoint != nil {
+				res, ok, err := opts.Checkpoint.lookup(header.Hash, j, r, seed)
+				if err != nil {
+					return sim.Result{}, &JobError{Point: j, Alpha: jobs[j].alpha, Run: r, Seed: seed, Err: err}
+				}
+				if ok {
+					return res, nil
+				}
+			}
 			cfg := configs[j]
-			cfg.Seed = sim.DeriveSeed(pointSeed(opts, jobs[j].alpha), r)
-			return rn.Run(cfg)
+			cfg.Seed = seed
+			res, err := rn.Run(cfg)
+			if err != nil {
+				return sim.Result{}, &JobError{Point: j, Alpha: jobs[j].alpha, Run: r, Seed: seed, Err: err}
+			}
+			if opts.Checkpoint != nil {
+				// Journal before returning so a cancellation arriving
+				// while later items drain still persists this row.
+				if err := opts.Checkpoint.record(header, j, r, seed, res); err != nil {
+					return sim.Result{}, &JobError{Point: j, Alpha: jobs[j].alpha, Run: r, Seed: seed, Err: err}
+				}
+			}
+			return res, nil
 		})
 	if err != nil {
 		return nil, err

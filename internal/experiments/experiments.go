@@ -5,8 +5,11 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+
+	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
 // Paper-scale simulation defaults (Sec. V: averages of 10 runs, each
@@ -45,6 +48,25 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); one forces sequential execution. Results
 	// are identical regardless of the setting.
 	Parallelism int
+
+	// Ctx cancels a sweep early: once done, no new work items start,
+	// in-flight runs finish, and the sweep returns the context's error
+	// (completed rows are preserved in Checkpoint, if set). Nil means
+	// no cancellation.
+	Ctx context.Context
+
+	// Checkpoint, when non-nil, journals every completed (grid-point ×
+	// run) row keyed by a canonical hash of the sweep configuration, and
+	// reuses journaled rows instead of recomputing them. By the engine's
+	// determinism guarantees a resumed sweep is bit-identical to an
+	// uninterrupted one. One open Checkpoint may serve many sweeps
+	// (tournament and best-response drivers run several grids).
+	Checkpoint *Checkpoint
+
+	// Audit enables the simulator's runtime invariant auditor for every
+	// run in the sweep. Auditing never changes results; see
+	// sim.AuditConfig.
+	Audit sim.AuditConfig
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/ethselfish/ethselfish/internal/chain"
+)
+
+// This file is the simulator's runtime invariant auditor: an opt-in
+// adversarial check of the engine's own bookkeeping, run while the
+// simulation executes rather than after the fact. The audited invariants
+// are the ones the rest of the codebase silently relies on:
+//
+//   - Reward conservation: settling the chain-so-far classifies every
+//     non-genesis block as exactly one of regular, uncle, or stale, and the
+//     settled rewards equal what the schedule mints for those blocks and
+//     references (the uncle/nephew bookkeeping of Niu-Feng's schedule).
+//   - Timestamp monotonicity: on the continuous-time axis, every block's
+//     timestamp is at or after its parent's, on every branch.
+//   - Consensus-floor monotonicity: the floor only ever advances along the
+//     settled chain — each new floor descends from the previous one.
+//   - Fork-child candidate set: the incrementally maintained uncle
+//     candidate set matches a brute-force rescan of the candidate window
+//     (same blocks, same heights, same order), with the floor-purge rules
+//     applied from scratch.
+//
+// With Audit disabled (the zero Config) none of this code runs and the hot
+// path is untouched. The sampled mode (SampleEvery > 1) keeps the audit
+// cheap enough for CI race runs over full-size workloads.
+
+// ErrAudit is returned when a runtime invariant audit fails. Any such error
+// means the engine's internal state is inconsistent — a bug, not a bad
+// configuration.
+var ErrAudit = errors.New("sim: invariant audit failed")
+
+// AuditConfig configures the runtime invariant auditor. The zero value
+// disables it.
+type AuditConfig struct {
+	// Enabled turns the auditor on.
+	Enabled bool
+
+	// SampleEvery audits every Nth block event (and the final state).
+	// Zero or one audits every event — exhaustive but O(chain) per event
+	// for the conservation check; CI-scale runs use a sparse sample
+	// (e.g. 1024).
+	SampleEvery int
+}
+
+func (a AuditConfig) validate() error {
+	if a.SampleEvery < 0 {
+		return fmt.Errorf("%w: negative audit sample interval", ErrBadConfig)
+	}
+	return nil
+}
+
+// auditor holds the auditor's cursor state for one run.
+type auditor struct {
+	// every is the sampling interval (>= 1).
+	every int
+
+	// event is the index of the block event being audited.
+	event int
+
+	// timeChecked is the highest block ID whose timestamp has been
+	// verified against its parent; the incremental sweep covers every
+	// block exactly once regardless of the sampling interval.
+	timeChecked chain.BlockID
+
+	// scratch backs the brute-force fork-child rescan.
+	scratch []windowBlock
+}
+
+// initAudit prepares the auditor for one run (or disables it).
+func (s *simulator) initAudit(cfg Config) {
+	if !cfg.Audit.Enabled {
+		s.aud = nil
+		return
+	}
+	if s.aud == nil {
+		s.aud = &auditor{}
+	}
+	a := s.aud
+	a.every = cfg.Audit.SampleEvery
+	if a.every < 1 {
+		a.every = 1
+	}
+	a.event = 0
+	a.timeChecked = s.tree.Genesis()
+}
+
+// afterEvent runs the sampled audits after block event i has been fully
+// applied (including every pool's reaction).
+func (s *simulator) auditEvent(i int) error {
+	a := s.aud
+	a.event = i
+	if (i+1)%a.every != 0 {
+		return nil
+	}
+	return a.check(s)
+}
+
+// auditFinal audits the end-of-run state exactly once, so even a sparse
+// sample always checks the state the settlement will read.
+func (s *simulator) auditFinal() error {
+	if s.aud == nil {
+		return nil
+	}
+	return s.aud.check(s)
+}
+
+// check runs every invariant audit against the simulator's current state.
+func (a *auditor) check(s *simulator) error {
+	if err := a.checkTimestamps(s); err != nil {
+		return err
+	}
+	if err := a.checkForkChildren(s); err != nil {
+		return err
+	}
+	return a.checkConservation(s)
+}
+
+// violation formats one audit failure with its event coordinate.
+func (a *auditor) violation(format string, args ...any) error {
+	return fmt.Errorf("%w: at event %d: %s", ErrAudit, a.event, fmt.Sprintf(format, args...))
+}
+
+// checkTimestamps verifies per-branch timestamp monotonicity incrementally:
+// every block created since the last audit must be stamped at or after its
+// parent, which covers every branch of the tree exactly once per run. A
+// timeless run stamps every block zero and passes trivially.
+func (a *auditor) checkTimestamps(s *simulator) error {
+	t := s.tree
+	for id := a.timeChecked + 1; int(id) < t.Len(); id++ {
+		parent := t.ParentOf(id)
+		if t.TimeOf(id) < t.TimeOf(parent) {
+			return a.violation("timestamp regression: block %d at %v before parent %d at %v",
+				id, t.TimeOf(id), parent, t.TimeOf(parent))
+		}
+		if s.timing && t.TimeOf(id) > s.clock {
+			return a.violation("timestamp ahead of clock: block %d at %v, clock %v",
+				id, t.TimeOf(id), s.clock)
+		}
+		a.timeChecked = id
+	}
+	return nil
+}
+
+// auditFloor verifies consensus-floor monotonicity at a floor advance: the
+// new floor must descend from the previous one (the floor only ever moves
+// down the settled chain). Called from resolve, so every advance is
+// checked regardless of the sampling interval.
+func (a *auditor) auditFloor(s *simulator, from, to chain.BlockID) error {
+	if to != from && !s.tree.IsAncestor(from, to) {
+		return a.violation("consensus floor moved off its own chain: %d (height %d) -> %d (height %d)",
+			from, s.tree.HeightOf(from), to, s.tree.HeightOf(to))
+	}
+	return nil
+}
+
+// onSettledChain reports whether b lies on the settled chain through the
+// floor (genesis..floor inclusive).
+func onSettledChain(t *chain.Tree, b, floor chain.BlockID) bool {
+	return b == floor || t.IsAncestor(b, floor)
+}
+
+// checkForkChildren rebuilds the uncle-candidate set by brute force — a
+// full rescan of the recent window with the floor-purge rules applied from
+// scratch — and requires the incrementally maintained set to match block
+// for block, height for height, in the same (creation) order.
+func (a *auditor) checkForkChildren(s *simulator) error {
+	t := s.tree
+	floor := s.floor
+	floorHeight := t.HeightOf(floor)
+	expected := a.scratch[:0]
+	for _, wb := range s.recent {
+		parent := t.ParentOf(wb.id)
+		if t.NextSiblingOf(t.FirstChildOf(parent)) == chain.NoBlock {
+			continue // only child: can never be an uncle
+		}
+		// The floor-purge rules, evaluated from scratch: a candidate is
+		// dead once the settled chain through the floor decides it.
+		if ref := t.ReferencedBy(wb.id); ref != chain.NoBlock && onSettledChain(t, ref, floor) {
+			continue // referenced on the consensus chain
+		}
+		if onSettledChain(t, wb.id, floor) {
+			continue // on the consensus chain itself
+		}
+		if wb.height-1 <= floorHeight && !onSettledChain(t, parent, floor) {
+			continue // parent off every future chain
+		}
+		expected = append(expected, wb)
+	}
+	a.scratch = expected
+
+	got := s.forkChildren
+	if len(got) != len(expected) {
+		return a.violation("fork-child set has %d candidates, brute-force rescan finds %d (%v vs %v)",
+			len(got), len(expected), got, expected)
+	}
+	for i := range got {
+		if got[i] != expected[i] {
+			return a.violation("fork-child set diverges at entry %d: %+v, brute-force rescan finds %+v",
+				i, got[i], expected[i])
+		}
+	}
+	return nil
+}
+
+// conservationTolerance bounds the relative float drift allowed between two
+// summation orders of the same reward total.
+const conservationTolerance = 1e-9
+
+// checkConservation settles the chain-so-far at the consensus floor and
+// verifies reward conservation: every non-genesis block is classified as
+// exactly one of regular, uncle, or stale (regular + uncle + stale = total
+// blocks minted), static rewards equal the regular-block count, and the
+// uncle/nephew payouts equal the schedule's mint over the realized
+// references. This is the expensive audit (O(chain)); the sampling interval
+// bounds its amortized cost.
+func (a *auditor) checkConservation(s *simulator) error {
+	floor := s.consensusFloor()
+	settlement, err := s.tree.Settle(floor, s.cfg.Schedule)
+	if err != nil {
+		return a.violation("settling at floor %d: %v", floor, err)
+	}
+	minted := s.tree.Len() - 1 // every block event mints one block; genesis is free
+	if got := settlement.RegularCount + settlement.UncleCount + settlement.StaleCount; got != minted {
+		return a.violation("block conservation: regular %d + uncle %d + stale %d = %d, minted %d",
+			settlement.RegularCount, settlement.UncleCount, settlement.StaleCount, got, minted)
+	}
+	total := settlement.TotalReward()
+	if total.Static != float64(settlement.RegularCount) {
+		return a.violation("static rewards %v, want one per %d regular blocks",
+			total.Static, settlement.RegularCount)
+	}
+	// Re-derive the uncle and nephew mint from the realized references —
+	// an accumulation independent of Settle's per-miner tallies.
+	var wantUncle, wantNephew float64
+	refs := 0
+	for _, ref := range settlement.Refs {
+		if !s.cfg.Schedule.Referenceable(ref.Distance) {
+			continue
+		}
+		refs++
+		wantUncle += s.cfg.Schedule.Uncle(ref.Distance)
+		wantNephew += s.cfg.Schedule.Nephew(ref.Distance)
+	}
+	if refs != settlement.UncleCount {
+		return a.violation("uncle count %d, but %d referenceable references realized",
+			settlement.UncleCount, refs)
+	}
+	if !closeEnough(total.Uncle, wantUncle) || !closeEnough(total.Nephew, wantNephew) {
+		return a.violation("reward conservation: settled uncle %v nephew %v, schedule mints uncle %v nephew %v",
+			total.Uncle, total.Nephew, wantUncle, wantNephew)
+	}
+	return nil
+}
+
+// closeEnough compares two float totals up to summation-order drift.
+func closeEnough(got, want float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+	return math.Abs(got-want) <= conservationTolerance*scale
+}

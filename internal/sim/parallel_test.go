@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -185,6 +186,102 @@ func TestRunManyParallelDeterminismTwoPools(t *testing.T) {
 			t.Errorf("run %d: parallel two-pool result differs from sequential", i)
 		}
 	}
+}
+
+// TestRunManyCtx pins the batch-cancellation contract: a nil or live
+// context behaves exactly like RunMany, and a cancelled context returns
+// context.Canceled with a done mask whose completed runs are bit-identical
+// to the uninterrupted batch.
+func TestRunManyCtx(t *testing.T) {
+	pop, err := mining.TwoAgent(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Population: pop, Gamma: 0.5, Blocks: 3000, Seed: 42, Parallelism: 4}
+	want, err := RunMany(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, done, err := RunManyCtx(context.Background(), cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range done {
+		if !ok {
+			t.Fatalf("run %d not done under a live context", i)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("RunManyCtx with a live context differs from RunMany")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, done, err := RunManyCtx(ctx, cfg, 6)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, ok := range done {
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(partial.Runs[i], want.Runs[i]) {
+			t.Errorf("run %d: partial result differs from the uninterrupted batch", i)
+		}
+	}
+}
+
+// TestRunnerResetAfterFailure: a Runner whose run failed partway (here on a
+// strategy's invalid reaction) must produce bit-identical clean runs
+// afterwards, with or without an explicit Reset in between.
+func TestRunnerResetAfterFailure(t *testing.T) {
+	pop, err := mining.TwoAgent(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Config{Population: pop, Gamma: 0.5, Blocks: 2000, Seed: 7}
+	want, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conflictStrategy fails mid-run once the pool holds a private lead.
+	bad := clean
+	bad.Strategy = conflictStrategy{}
+
+	for _, reset := range []bool{false, true} {
+		rn := NewRunner()
+		if _, err := rn.Run(bad); !errors.Is(err, ErrBadReaction) {
+			t.Fatalf("reset=%v: err = %v, want ErrBadReaction", reset, err)
+		}
+		if reset {
+			rn.Reset()
+		}
+		got, err := rn.Run(clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("reset=%v: rerun after a failed run differs from a fresh run", reset)
+		}
+	}
+}
+
+// conflictStrategy emits a Commit+Adopt reaction — always invalid — as soon
+// as the pool has any private blocks to commit.
+type conflictStrategy struct{}
+
+func (conflictStrategy) Name() string { return "test-conflict" }
+
+func (conflictStrategy) ReactToPool(ls, lh, published int) Reaction {
+	if ls > lh {
+		return Reaction{Commit: true, Adopt: true}
+	}
+	return Algorithm1{}.ReactToPool(ls, lh, published)
+}
+
+func (conflictStrategy) ReactToHonest(ls, lh, published int) Reaction {
+	return Algorithm1{}.ReactToHonest(ls, lh, published)
 }
 
 func TestDeriveSeedSpreadsRuns(t *testing.T) {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ethselfish/ethselfish/internal/chain"
@@ -56,8 +57,10 @@ type Result struct {
 
 	// Occupancy is the first pool's frame occupancy — the paper's
 	// (Ls, Lh) state counts in the single-pool setting. It aliases
-	// OccupancyByPool[0].
-	Occupancy map[core.State]int64
+	// OccupancyByPool[0]. Serialization skips it for exactly that reason:
+	// decoders rebuild the alias from OccupancyByPool (see
+	// RestoreAliases) instead of materializing a second copy.
+	Occupancy map[core.State]int64 `json:"-"`
 
 	// The remaining fields exist only when the run's TimeConfig was
 	// enabled; a timeless run leaves them zero.
@@ -87,6 +90,18 @@ type Result struct {
 	// has converged. The profitability question "does selfish mining
 	// actually pay?" is RateOf compared across these two windows.
 	Early, Steady Window
+}
+
+// RestoreAliases rebuilds the intra-Result aliases a serialized Result
+// drops (Occupancy aliasing OccupancyByPool[0]). Decoders must call it
+// after unmarshaling for the Result to be indistinguishable from a freshly
+// computed one.
+func (r *Result) RestoreAliases() {
+	if len(r.OccupancyByPool) > 0 {
+		r.Occupancy = r.OccupancyByPool[0]
+	} else {
+		r.Occupancy = nil
+	}
 }
 
 // MinerReward returns one miner's settled tally (zero if it earned
@@ -226,6 +241,31 @@ func (rn *Runner) Run(cfg Config) (Result, error) {
 	return settleRun(&rn.s)
 }
 
+// Reset clears every trace of the previous run — including one that failed
+// partway, e.g. on a strategy's invalid reaction — while keeping the
+// allocated storage for reuse. Run resets implicitly (init rewinds all run
+// state before every run, which is what makes reuse after a failure safe);
+// Reset exists so long-lived holders can drop a failed run's state
+// eagerly instead of carrying it until the next Run.
+func (rn *Runner) Reset() {
+	s := &rn.s
+	s.recent = s.recent[:0]
+	s.forkChildren = s.forkChildren[:0]
+	s.referencedInWindow = 0
+	for i := range s.pools {
+		s.pools[i].blocks = s.pools[i].blocks[:0]
+		s.pools[i].published = 0
+	}
+	s.pools = s.pools[:0]
+	if s.published != nil {
+		s.published = s.published[:0]
+		s.inRecent = s.inRecent[:0]
+	}
+	s.cfg = Config{}
+	s.aud = nil
+	s.ctrl = nil
+}
+
 // Run executes one simulation and settles it.
 func Run(cfg Config) (Result, error) {
 	return NewRunner().Run(cfg)
@@ -254,6 +294,10 @@ func RunTrace(cfg Config) (Result, *chain.Tree, error) {
 // consensus floor, so every race still in flight is excluded.
 func settleRun(s *simulator) (Result, error) {
 	if err := s.run(); err != nil {
+		return Result{}, err
+	}
+	// A sparse audit sample still checks the exact state being settled.
+	if err := s.auditFinal(); err != nil {
 		return Result{}, err
 	}
 	cfg := s.cfg
@@ -350,6 +394,25 @@ func RunMany(cfg Config, runs int) (Series, error) {
 		return Series{}, err
 	}
 	return Series{Runs: results}, nil
+}
+
+// RunManyCtx is RunMany under a context: cancellation (or an expired
+// deadline) stops dispatching pending runs while in-flight runs finish.
+// Unlike RunMany it returns the partial Series alongside a non-nil error —
+// done[i] reports whether run i completed, and every completed run's Result
+// is bit-identical to what an uninterrupted batch would have produced (runs
+// are independently seeded via DeriveSeed).
+func RunManyCtx(ctx context.Context, cfg Config, runs int) (Series, []bool, error) {
+	if runs <= 0 {
+		return Series{}, nil, fmt.Errorf("%w: runs %d must be positive", ErrBadConfig, runs)
+	}
+	results, done, err := parallel.MapWithCtx(ctx, cfg.Parallelism, runs, NewRunner,
+		func(rn *Runner, i int) (Result, error) {
+			runCfg := cfg
+			runCfg.Seed = DeriveSeed(cfg.Seed, i)
+			return rn.Run(runCfg)
+		})
+	return Series{Runs: results}, done, err
 }
 
 // Mean aggregates a metric over the runs and returns its accumulator.

@@ -14,6 +14,15 @@
 // emerge from the tree rather than from the model's formulas. The paper's
 // setting is the K = 1 special case and is bit-compatible with the
 // pre-generalization engine.
+//
+// For long runs the simulator can audit itself: Config.Audit enables a
+// runtime invariant auditor (reward conservation, timestamp and
+// consensus-floor monotonicity, and the incremental uncle-candidate set
+// checked against a brute-force rescan) that never changes results; see
+// AuditConfig. Batch entry points come in context-aware variants
+// (RunManyCtx) whose cancellation semantics — in-flight runs finish,
+// completed results are bit-identical to an uninterrupted batch — come
+// from the internal/parallel pool.
 package sim
 
 import (
@@ -105,6 +114,14 @@ type Config struct {
 	// seeds are derived from Seed alone (see DeriveSeed) and the run
 	// order of the returned Series is preserved.
 	Parallelism int
+
+	// Audit enables the runtime invariant auditor (see AuditConfig): the
+	// engine adversarially checks its own bookkeeping — reward
+	// conservation, timestamp and consensus-floor monotonicity, and the
+	// incremental fork-child set against a brute-force rescan — while the
+	// run executes. The zero value disables it; auditing never changes
+	// results, it can only fail the run with ErrAudit.
+	Audit AuditConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +157,9 @@ func (c Config) validate() error {
 		if err := c.Time.Difficulty.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
+	}
+	if err := c.Audit.validate(); err != nil {
+		return err
 	}
 	if c.Strategies != nil {
 		if got, want := len(c.Strategies), c.Population.NumPools(); got != want {
@@ -302,6 +322,10 @@ type simulator struct {
 	uncleScratch []chain.BlockID
 	candScratch  []windowBlock
 	purgeScratch []chain.BlockID
+
+	// aud is the runtime invariant auditor (see audit.go); nil unless
+	// cfg.Audit.Enabled, so the hot path pays one nil check per event.
+	aud *auditor
 }
 
 // init prepares the simulator for one run of cfg, reusing any storage left
@@ -388,6 +412,7 @@ func (s *simulator) init(cfg Config) {
 		s.chainScratch = make([]chain.BlockID, 0, window+2)
 	}
 	s.initTime(cfg)
+	s.initAudit(cfg)
 }
 
 // frame returns pool index i's race frame: the (Ls, Lh, published) triple
@@ -554,16 +579,25 @@ func (s *simulator) consensusFloor() chain.BlockID {
 // and, when the floor advanced, purges uncle candidates the new floor
 // decides for good. With a single pool the floor is exactly the paper's
 // race base, and resolve fires at the same points the two-party engine's
-// race reset did.
-func (s *simulator) resolve() {
+// race reset did. The only error it can return is an ErrAudit from the
+// floor-monotonicity check; with auditing off it always succeeds.
+func (s *simulator) resolve() error {
 	floor := s.consensusFloor()
 	if floor == s.floor {
-		return
+		return nil
+	}
+	if s.aud != nil {
+		// Every floor advance is audited, regardless of the sampling
+		// interval: the floor must only ever move down the settled chain.
+		if err := s.aud.auditFloor(s, s.floor, floor); err != nil {
+			return err
+		}
 	}
 	s.floor = floor
 	if len(s.forkChildren) > 0 {
 		s.purgeForkChildren(floor)
 	}
+	return nil
 }
 
 // purgeForkChildren drops candidates the consensus floor makes permanently
@@ -832,7 +866,7 @@ func (s *simulator) applyReaction(pi int, r Reaction) error {
 		p.published = 0
 		p.root = s.pubTip
 		p.rootHeight = s.pubHeight
-		s.resolve()
+		return s.resolve()
 	case r.Commit:
 		// Publish the whole branch; strictly longest, it becomes the
 		// public chain (validateReaction guarantees ls > lh).
@@ -844,7 +878,7 @@ func (s *simulator) applyReaction(pi int, r Reaction) error {
 		p.published = 0
 		p.root = tip
 		p.rootHeight = s.pubHeight
-		s.resolve()
+		return s.resolve()
 	default:
 		s.publishPool(p, r.PublishTo)
 	}
@@ -975,6 +1009,11 @@ func (s *simulator) run() error {
 		}
 		if s.ctrl != nil {
 			s.observeSettled()
+		}
+		if s.aud != nil {
+			if err := s.auditEvent(i); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

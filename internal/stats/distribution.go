@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -92,6 +93,47 @@ func (c *Counter) Merge(other *Counter) {
 	for k, n := range other.counts {
 		c.ObserveN(k, n)
 	}
+}
+
+// MarshalJSON encodes the counter as [[outcome, count], ...] sorted by
+// outcome, or null for the zero counter. The encoding round-trips exactly:
+// a decoded counter is reflect.DeepEqual to the original, which the
+// experiments checkpoint journal relies on for bit-identical resume.
+func (c Counter) MarshalJSON() ([]byte, error) {
+	if c.counts == nil {
+		return []byte("null"), nil
+	}
+	pairs := make([][2]int64, 0, len(c.counts))
+	for _, k := range c.Outcomes() {
+		pairs = append(pairs, [2]int64{int64(k), c.counts[k]})
+	}
+	return json.Marshal(pairs)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form, rejecting zero counts and
+// duplicate outcomes (which could not have been produced by observations).
+func (c *Counter) UnmarshalJSON(data []byte) error {
+	*c = Counter{}
+	var pairs [][2]int64
+	if err := json.Unmarshal(data, &pairs); err != nil {
+		return fmt.Errorf("stats: decoding counter: %w", err)
+	}
+	if pairs == nil {
+		return nil
+	}
+	c.counts = make(map[int]int64, len(pairs))
+	for _, p := range pairs {
+		k, n := int(p[0]), p[1]
+		if n <= 0 {
+			return fmt.Errorf("stats: counter outcome %d has non-positive count %d", k, n)
+		}
+		if _, dup := c.counts[k]; dup {
+			return fmt.Errorf("stats: counter outcome %d duplicated", k)
+		}
+		c.counts[k] = n
+		c.total += n
+	}
+	return nil
 }
 
 // Distribution is a probability mass function over outcomes 1..len(P),

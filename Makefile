@@ -6,12 +6,22 @@ GO ?= go
 # Baseline file consumed by bench-compare; create it with bench-baseline.
 BENCH_BASELINE ?= bench-baseline.json
 
-.PHONY: check build vet test race chaos-smoke fuzz-smoke bench bench-json bench-baseline bench-compare bench-smoke
+# Dated benchmark history appended to by bench-record (committed, so the
+# repo carries its own performance trajectory).
+BENCH_HISTORY ?= BENCH_HISTORY.json
+
+# The workloads gated against a same-machine baseline: the K-pool races,
+# the tournament engine, the continuous-time workloads, and the
+# fast-forward speedup pair. bench-gate and the CI workflow both read this
+# list, so the two cannot drift.
+BENCH_GATE_FILTERS := 2pools tournament eip100 profitability alpha05 fastforward
+
+.PHONY: check build vet test race agreement chaos-smoke fuzz-smoke bench bench-json bench-baseline bench-compare bench-gate bench-record bench-smoke
 
 # How long each fuzz target runs in fuzz-smoke; CI uses the default.
 FUZZTIME ?= 10s
 
-check: vet test race
+check: vet test race agreement
 
 build:
 	$(GO) build ./...
@@ -31,6 +41,15 @@ test: build
 # under the detector.
 race:
 	$(GO) test -race -short ./internal/parallel ./internal/sim ./internal/experiments ./internal/chaos
+
+# The cross-mode agreement suite by name: fast-forward vs plain
+# distribution agreement, the paired/antithetic estimators against their
+# closed-form oracles, and the RNG's distributional pins. Everything here
+# also runs inside `test`; the explicit pass keeps the statistical gates
+# visible (and runnable alone) when modes diverge.
+agreement:
+	$(GO) test -run 'FastForward|Antithetic|Precision|Paired|Geometric|GammaInt|ExpUnit' \
+		./internal/rng ./internal/stats ./internal/sim ./internal/experiments
 
 # The chaos suite alone (adversarial strategies, injected worker
 # panics/errors, and corrupted trace decoding must all fail closed with
@@ -64,6 +83,22 @@ bench-baseline:
 # regression in ns/op or allocs/op of any shared benchmark.
 bench-compare:
 	$(GO) run ./cmd/ethbench -baseline $(BENCH_BASELINE)
+
+# Record-and-compare each gated workload back to back on the same machine,
+# so only a real blow-up trips ethbench's >20% regression limit. CI runs
+# this as its final step.
+bench-gate:
+	@set -e; for f in $(BENCH_GATE_FILTERS); do \
+		echo "bench-gate: $$f"; \
+		$(GO) run ./cmd/ethbench -filter $$f > ci-bench-$$f.json; \
+		$(GO) run ./cmd/ethbench -filter $$f -baseline ci-bench-$$f.json; \
+	done
+
+# Append the current benchmark numbers as a dated entry to the committed
+# history file (satisfying curiosity about the performance trajectory
+# without digging through git history of baselines).
+bench-record:
+	$(GO) run ./cmd/ethbench -record $(BENCH_HISTORY)
 
 # One-iteration pass over every benchmark so bench code cannot rot; used by
 # CI, where full benchmark timings would be noise anyway.

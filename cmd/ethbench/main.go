@@ -8,16 +8,25 @@
 //
 // Flags:
 //
-//	-filter S       run only benchmarks whose name contains S
-//	-parallel N     experiment engine workers (default 0: one per CPU)
-//	-list           print benchmark names and exit
-//	-baseline FILE  compare against a saved JSON run instead of printing
-//	                JSON: print per-benchmark deltas (ns/op, allocs/op)
-//	                and exit non-zero on a >20% regression in either
+//	-filter S        run only benchmarks whose name contains S
+//	-parallel N      experiment engine workers (default 0: one per CPU)
+//	-list            print benchmark names and exit
+//	-baseline FILE   compare against a saved JSON run instead of printing
+//	                 JSON: print per-benchmark deltas (ns/op, allocs/op)
+//	                 and exit non-zero on a >20% regression in either
+//	-record FILE     append this run as a dated entry to a JSON history
+//	                 file (the BENCH_HISTORY.json trajectory), in addition
+//	                 to the normal stdout output
+//	-cpuprofile FILE write a CPU profile covering the benchmark runs
+//	-memprofile FILE write a heap profile taken after the benchmark runs
 //
 // Each result records iterations, ns/op, bytes/op and allocs/op as measured
 // by testing.Benchmark, plus the parallelism and GOMAXPROCS in force, so
-// trajectories from different machines stay comparable.
+// trajectories from different machines stay comparable. The precision-*
+// benchmarks report time-to-target-precision: one op is an adaptive study
+// that simulates until the pool-revenue confidence interval closes under
+// its target half-width, so their ns/op is directly the wall-clock cost of
+// a fixed statistical precision under each estimator.
 package main
 
 import (
@@ -27,8 +36,10 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/experiments"
@@ -169,6 +180,52 @@ func benchmarks() []benchmark {
 				}
 			}
 		}},
+		{name: "sim-100k-blocks-alpha05", run: func(b *testing.B, parallel int) {
+			// The plain half of the fast-forward speedup pair: a small
+			// attacker from the low end of the Fig. 8 sweep, where the race
+			// spends nearly all of its events at the empty-branch origin —
+			// exactly the regime the fast-forward collapses. The reused
+			// Runner keeps both halves of the pair at steady state.
+			pop, err := mining.TwoAgent(0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rn := sim.NewRunner()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rn.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     100000,
+					Seed:       uint64(i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "sim-100k-blocks-fastforward", run: func(b *testing.B, parallel int) {
+			// The same workload with the analytic fast-forward engaged:
+			// uneventful honest stretches collapse to one geometric draw
+			// plus a bulk append. Gated against sim-100k-blocks-alpha05
+			// in the CI baseline to keep the speedup honest.
+			pop, err := mining.TwoAgent(0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rn := sim.NewRunner()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rn.Run(sim.Config{
+					Population:  pop,
+					Gamma:       0.5,
+					Blocks:      100000,
+					Seed:        uint64(i),
+					FastForward: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{name: "sim-100k-blocks-audit-sampled", run: func(b *testing.B, parallel int) {
 			// The invariant auditor at its CI-friendly sampling rate.
 			// The fork-child rescan and conservation settle make audited
@@ -269,6 +326,32 @@ func benchmarks() []benchmark {
 				}
 			}
 		}},
+		{name: "precision-plain-quick", run: precisionBench(experiments.EstimatorPlain)},
+		{name: "precision-cv-quick", run: precisionBench(experiments.EstimatorControlVariate)},
+		{name: "precision-antithetic-quick", run: precisionBench(experiments.EstimatorAntithetic)},
+	}
+}
+
+// precisionBench builds a time-to-target-precision workload: one op runs
+// the adaptive precision study at a single alpha under one estimator until
+// its confidence interval closes under the target half-width, so ns/op is
+// the variance-adjusted cost of a fixed precision — lower for estimators
+// with a real variance reduction.
+func precisionBench(est experiments.Estimator) func(b *testing.B, parallel int) {
+	return func(b *testing.B, parallel int) {
+		opts := experiments.Options{Blocks: experiments.QuickBlocks, Parallelism: parallel}
+		pc := experiments.PrecisionConfig{
+			Alphas:       []float64{0.3},
+			Estimators:   []experiments.Estimator{est},
+			TargetRadius: 0.0015,
+			MaxRuns:      64,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Precision(opts, pc); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 
@@ -282,16 +365,44 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ethbench", flag.ContinueOnError)
 	var (
-		filter   = fs.String("filter", "", "run only benchmarks whose name contains this substring")
-		parallel = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
-		list     = fs.Bool("list", false, "print benchmark names and exit")
-		baseline = fs.String("baseline", "", "compare against this saved JSON run and fail on >20% regression")
+		filter     = fs.String("filter", "", "run only benchmarks whose name contains this substring")
+		parallel   = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
+		list       = fs.Bool("list", false, "print benchmark names and exit")
+		baseline   = fs.String("baseline", "", "compare against this saved JSON run and fail on >20% regression")
+		record     = fs.String("record", "", "append this run as a dated entry to this JSON history file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+		memprofile = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ethbench: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ethbench: writing heap profile:", err)
+			}
+		}()
 	}
 
 	var results []Result
@@ -329,12 +440,53 @@ func run(args []string, w io.Writer) error {
 	if results == nil {
 		return fmt.Errorf("no benchmark matches filter %q", *filter)
 	}
+	if *record != "" {
+		if err := appendHistory(*record, results); err != nil {
+			return err
+		}
+	}
 	if *baseline != "" {
 		return compareBaseline(w, *baseline, results)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// historyEntry is one dated run in the benchmark history file: the full
+// result set plus enough environment to compare rows honestly.
+type historyEntry struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	Results   []Result `json:"results"`
+}
+
+// appendHistory appends this run as a dated entry to the JSON history at
+// path (an array of entries, created on first use). The file is rewritten
+// whole — history files are small and the rewrite keeps them valid JSON
+// rather than a fragile append format.
+func appendHistory(path string, results []Result) error {
+	var history []historyEntry
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &history); err != nil {
+			return fmt.Errorf("parsing history %s: %w", path, err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return fmt.Errorf("reading history: %w", err)
+	}
+	history = append(history, historyEntry{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Results:   results,
+	})
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding history: %w", err)
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // regressionLimit is the tolerated relative increase in ns/op or allocs/op

@@ -9,7 +9,7 @@
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, table2, secvi,
 // diffablation, strategies, poolwars, tournament, bestresponse,
-// profitability, all.
+// profitability, precision, all.
 //
 // Flags:
 //
@@ -27,6 +27,10 @@
 //	-rule R        comma-separated difficulty rules (static, bitcoin,
 //	               eip100) restricting the profitability experiment's rule
 //	               axis (default: all three)
+//	-fastforward   run simulations with the analytic fast-forward of
+//	               uneventful stretches; results agree with the plain
+//	               engine in distribution, not bit-for-bit, so journals
+//	               written in one mode never resume in the other
 //	-timeout D     overall deadline for the invocation (e.g. 30m); on
 //	               expiry in-flight runs finish, then the sweep stops
 //	-checkpoint F  journal completed (grid-point x run) rows to file F and
@@ -75,19 +79,20 @@ func main() {
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ethselfish", flag.ContinueOnError)
 	var (
-		quick      = fs.Bool("quick", false, "reduced simulation effort")
-		runs       = fs.Int("runs", experiments.DefaultRuns, "simulation runs per data point")
-		blocks     = fs.Int("blocks", experiments.DefaultBlocks, "block events per run")
-		seed       = fs.Uint64("seed", 1, "base RNG seed")
-		parallel   = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
-		strategies = fs.String("strategies", "", "comma-separated strategy specs for strategies/tournament (not bestresponse)")
-		rule       = fs.String("rule", "", "comma-separated difficulty rules for profitability (static, bitcoin, eip100)")
-		timeout    = fs.Duration("timeout", 0, "overall deadline (0: none); in-flight runs finish on expiry")
-		checkpoint = fs.String("checkpoint", "", "journal completed rows to this file and resume from it")
-		audit      = fs.Bool("audit", false, "enable the runtime invariant auditor")
-		auditEvery = fs.Int("audit-every", 1024, "audit every Nth block event (with -audit)")
-		list       = fs.Bool("list", false, "list experiments and registered strategy specs")
-		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		quick       = fs.Bool("quick", false, "reduced simulation effort")
+		runs        = fs.Int("runs", experiments.DefaultRuns, "simulation runs per data point")
+		blocks      = fs.Int("blocks", experiments.DefaultBlocks, "block events per run")
+		seed        = fs.Uint64("seed", 1, "base RNG seed")
+		parallel    = fs.Int("parallel", 0, "experiment engine workers (0: one per CPU)")
+		strategies  = fs.String("strategies", "", "comma-separated strategy specs for strategies/tournament (not bestresponse)")
+		fastforward = fs.Bool("fastforward", false, "fast-forward uneventful stretches (distribution-equivalent, different random stream)")
+		rule        = fs.String("rule", "", "comma-separated difficulty rules for profitability (static, bitcoin, eip100)")
+		timeout     = fs.Duration("timeout", 0, "overall deadline (0: none); in-flight runs finish on expiry")
+		checkpoint  = fs.String("checkpoint", "", "journal completed rows to this file and resume from it")
+		audit       = fs.Bool("audit", false, "enable the runtime invariant auditor")
+		auditEvery  = fs.Int("audit-every", 1024, "audit every Nth block event (with -audit)")
+		list        = fs.Bool("list", false, "list experiments and registered strategy specs")
+		csv         = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: ethselfish [flags] <experiment>\n")
@@ -125,6 +130,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		})
 	}
 	opts.Parallelism = *parallel
+	opts.FastForward = *fastforward
 	opts.Audit = sim.AuditConfig{Enabled: *audit, SampleEvery: *auditEvery}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -281,7 +287,7 @@ func experimentNames() []string {
 	return []string{
 		"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "table2",
 		"secvi", "diffablation", "strategies", "poolwars", "tournament",
-		"bestresponse", "profitability",
+		"bestresponse", "profitability", "precision",
 	}
 }
 
@@ -366,6 +372,17 @@ func build(name string, opts experiments.Options, specs []sim.StrategySpec, rule
 		return result.Table(), nil
 	case "profitability":
 		result, err := experiments.Profitability(opts, rules...)
+		if err != nil {
+			return nil, err
+		}
+		return result.Table(), nil
+	case "precision":
+		// The variance-reduction study: adaptive runs-to-target-CI per
+		// estimator. It honors -fastforward through the options like every
+		// other sweep; the remaining knobs keep their defaults.
+		result, err := experiments.Precision(opts, experiments.PrecisionConfig{
+			FastForward: opts.FastForward,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -131,6 +131,36 @@
 // each worker reuses one simulator (block tree, uncle arena, candidate
 // window, per-pool branches and occupancy grids, scratch buffers) for
 // every run it executes, resetting rather than re-allocating.
-// cmd/ethbench emits machine-readable benchmark results and a -baseline
-// compare mode for tracking all of these properties.
+// cmd/ethbench emits machine-readable benchmark results, a -baseline
+// compare mode, a -record mode appending dated entries to the committed
+// benchmark history, and -cpuprofile/-memprofile for pprof output.
+//
+// # Fast-forward and variance reduction
+//
+// Two opt-in accelerations trade bit-identical random streams for
+// statistically identical results. sim.Config.FastForward collapses
+// uneventful stretches analytically: at the race origin (every private
+// branch empty, the public tip childless) each event is honest with
+// probability 1-alpha and deterministically extends the tip, so the
+// engine samples the stretch length in one Geometric(alpha) draw,
+// bulk-appends the blocks (bulk-sampling the stretch duration as a
+// Gamma(k) variate on the timed axis), and resumes event-by-event at the
+// next selfish find — about a 2x speedup on 100k-block runs at small
+// alpha. It engages only when every pool's strategy plainly adopts at the
+// (0, 1, 0) frame (probed at init; otherwise the plain loop runs) and is
+// rejected with feedback difficulty rules. Results agree with the plain
+// engine in distribution — pinned by revenue, occupancy, and
+// conservation-audit agreement tests — not bit-for-bit; each mode is
+// bit-deterministic given (seed, mode), and checkpoint journals hash the
+// mode so one never resumes the other.
+//
+// For sweep precision, internal/stats.Paired implements online
+// control-variate estimation against the engine's closed-form oracles
+// (the selfish event share has known mean alpha), and
+// sim.Config.Antithetic mirrors every uniform draw for negatively
+// correlated run pairs. experiments.Precision (CLI: `ethselfish
+// precision`) runs the adaptive runs-to-target-CI study per (alpha,
+// estimator) and reports realized radius, variance reduction factors, and
+// projected run counts; cmd/ethbench's precision benches report the same
+// as wall-clock time to a fixed target precision.
 package ethselfish

@@ -165,15 +165,27 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 	// One descending walk from the tip settles everything: per-block
 	// tallies commute, and the stale count only needs the settled[]
 	// marks afterwards. settled[id] records on-chain or referenced
-	// blocks — the two classes excluded from the stale scan.
+	// blocks — the two classes excluded from the stale scan. The chain
+	// is the length of almost every run, so the loop body stays lean:
+	// the dense tallies are grown through see only when a new miner ID
+	// appears, and uncle-free blocks (the vast majority) skip the
+	// reference branch on the arena bounds alone.
 	settled := make([]bool, len(t.recs))
-	settled[t.Genesis()] = true
-	for id := tip; id != t.Genesis(); id = BlockID(t.recs[id].parent) {
+	gen := t.Genesis()
+	settled[gen] = true
+	for id := tip; id != gen; id = BlockID(t.recs[id].parent) {
 		settled[id] = true
 		r := t.recs[id]
 		s.RegularCount++
-		miner := s.see(MinerID(r.miner))
-		s.MinerRewards[miner].Static++
+		m := int(r.miner)
+		if m >= len(s.MinerRewards) {
+			s.see(MinerID(m))
+		}
+		s.MinerSeen[m] = true
+		s.MinerRewards[m].Static++
+		if r.uncleStart == r.uncleEnd {
+			continue
+		}
 		// Iterate uncles in reverse: the whole-slice reversal below
 		// then restores both the ascending block order and each
 		// block's stored reference order.
@@ -189,7 +201,7 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 			}
 			settled[u] = true
 			s.UncleCount++
-			s.MinerRewards[miner].Nephew += schedule.Nephew(d)
+			s.MinerRewards[m].Nephew += schedule.Nephew(d)
 			uncleMiner := s.see(MinerID(t.recs[u].miner))
 			s.MinerRewards[uncleMiner].Uncle += schedule.Uncle(d)
 		}

@@ -1,6 +1,9 @@
 package chain
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Config controls protocol limits enforced by a Tree.
 type Config struct {
@@ -311,6 +314,79 @@ func (t *Tree) ExtendAt(parent BlockID, miner MinerID, uncles []BlockID, at floa
 		t.links[u].referencedBy = id32
 	}
 	return id, nil
+}
+
+// ExtendRun appends a linear run of count blocks on parent — every block
+// mined by the same miner, referencing no uncles, each the sole child of its
+// predecessor — and returns the ID of the run's tip. Block j (1-based) is
+// stamped start + j*step; timeless callers pass zeros. IDs are assigned
+// contiguously from the pre-call Len(), so the caller can enumerate the run
+// as tip-count+1 .. tip.
+//
+// This is the fast-forward bulk-append: one bounds check up front, then a
+// tight loop of record appends with none of the per-block uncle validation
+// Extend pays, because a run by construction can neither reference nor
+// create an eligible uncle (no forks are introduced anywhere along it).
+func (t *Tree) ExtendRun(parent BlockID, miner MinerID, count int, start, step float64) (BlockID, error) {
+	if !t.Contains(parent) {
+		return NoBlock, fmt.Errorf("parent %d: %w", parent, ErrUnknownBlock)
+	}
+	if miner < 0 {
+		return NoBlock, fmt.Errorf("miner %d: %w", miner, ErrBadMinerID)
+	}
+	if count <= 0 {
+		return NoBlock, fmt.Errorf("chain: ExtendRun count %d must be positive", count)
+	}
+	p32 := int32(parent)
+	h := t.recs[p32].height
+	m32 := int32(miner)
+	ue := int32(len(t.uncleArena))
+	at := start
+	// Grow all three arenas once up front, then fill by index: the loop
+	// body runs without append's per-element capacity checks, which is
+	// where a naive per-block loop spends most of its time.
+	base := len(t.recs)
+	t.recs = slices.Grow(t.recs, count)[:base+count]
+	t.links = slices.Grow(t.links, count)[:base+count]
+	t.times = slices.Grow(t.times, count)[:base+count]
+	// Attach the run's head to the pre-existing parent through the normal
+	// sibling chain; every interior block then has exactly one child — the
+	// next block of the run — so its link record is written once, fully
+	// formed, instead of initialized empty and patched back by the next
+	// iteration.
+	head := int32(base)
+	if t.links[p32].firstChild == noBlock32 {
+		t.links[p32].firstChild = head
+	} else {
+		t.links[t.links[p32].lastChild].nextSibling = head
+	}
+	t.links[p32].lastChild = head
+	for j := 0; j < count; j++ {
+		h++
+		at += step
+		id32 := int32(base + j)
+		t.recs[id32] = rec{
+			parent:     p32,
+			height:     h,
+			miner:      m32,
+			uncleStart: ue,
+			uncleEnd:   ue,
+		}
+		t.times[id32] = at
+		if j < count-1 {
+			next := id32 + 1
+			t.links[id32] = links{
+				firstChild:   next,
+				lastChild:    next,
+				nextSibling:  noBlock32,
+				referencedBy: noBlock32,
+			}
+		} else {
+			t.links[id32] = noLinks
+		}
+		p32 = id32
+	}
+	return BlockID(p32), nil
 }
 
 // validateUncle checks the Ethereum uncle rules for referencing uncle u from

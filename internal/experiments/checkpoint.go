@@ -334,6 +334,16 @@ func sweepHash(opts Options, jobs []simJob, configs []sim.Config) string {
 		w.f64(cfg.Gamma)
 		w.u64(uint64(cfg.MaxUnclesPerBlock))
 		w.bool(cfg.PoolOmitsUncleRefs)
+		// The statistical modes change which draws a run consumes, so they
+		// separate sweeps — but only when on, written as marks rather than
+		// booleans so every hash journaled before the modes existed stays
+		// valid.
+		if cfg.FastForward {
+			w.str("fastforward")
+		}
+		if cfg.Antithetic {
+			w.str("antithetic")
+		}
 		w.bool(cfg.Time.Enabled)
 		if cfg.Time.Enabled {
 			d := cfg.Time.Difficulty

@@ -341,6 +341,26 @@ func TestSweepHashSensitivity(t *testing.T) {
 	if h := sweepHash(par, jobs, configs(par, jobs, 0.5)); h != base {
 		t.Error("parallelism/audit changed the sweep hash")
 	}
+
+	// The statistical modes change the draws a run consumes, so each must
+	// separate the sweep — and, hashed as conditional marks, leave every
+	// mode-off hash exactly where it was before the modes existed.
+	ffCfgs := configs(opts, jobs, 0.5)
+	for i := range ffCfgs {
+		ffCfgs[i].FastForward = true
+	}
+	ffHash := sweepHash(opts, jobs, ffCfgs)
+	if ffHash == base {
+		t.Error("fast-forward mode did not change the sweep hash")
+	}
+	antiCfgs := configs(opts, jobs, 0.5)
+	for i := range antiCfgs {
+		antiCfgs[i].Antithetic = true
+	}
+	antiHash := sweepHash(opts, jobs, antiCfgs)
+	if antiHash == base || antiHash == ffHash {
+		t.Error("antithetic mode did not get its own sweep hash")
+	}
 }
 
 // TestJournalDecodeStrict: malformed journals are rejected with ErrJournal

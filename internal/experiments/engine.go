@@ -101,6 +101,9 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 		cfg.Population = pop
 		cfg.Blocks = opts.Blocks
 		cfg.Audit = opts.Audit
+		if opts.FastForward {
+			cfg.FastForward = true
+		}
 		if job.specs != nil {
 			// Strategy instances are pure frame functions, so one
 			// instance per job is safely shared by every worker that

@@ -67,6 +67,13 @@ type Options struct {
 	// run in the sweep. Auditing never changes results; see
 	// sim.AuditConfig.
 	Audit sim.AuditConfig
+
+	// FastForward turns on the simulator's analytic fast-forward (see
+	// sim.Config.FastForward) for every run in the sweep. Fast-forwarded
+	// runs agree with plain runs in distribution, not bit-for-bit, so the
+	// mode participates in the sweep's checkpoint hash: journals written
+	// in one mode are never resumed in the other.
+	FastForward bool
 }
 
 func (o Options) withDefaults() Options {

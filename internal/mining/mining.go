@@ -104,6 +104,13 @@ type Population struct {
 	// poolAlias[p] is the alias table over pool p's member weights (nil
 	// for empty pools), giving O(1) pool-conditional draws.
 	poolAlias []*rng.AliasTable
+
+	// selfishMembers lists the miner indices of every pool >= 1 in input
+	// order, and selfishAlias is the alias table over their weights (nil
+	// when alpha is zero). Together they give the O(1) draw conditioned on
+	// "the event was not honest" that fast-forward mode resumes with.
+	selfishMembers []int32
+	selfishAlias   *rng.AliasTable
 }
 
 // NewPopulation validates and normalizes the miner set. Miner IDs must be
@@ -169,6 +176,16 @@ func NewPopulation(miners []Miner) (*Population, error) {
 			memberWeights = append(memberWeights, p.weights[i])
 		}
 		p.poolAlias[pool] = rng.NewAliasTable(memberWeights)
+	}
+	memberWeights = memberWeights[:0]
+	for i, m := range miners {
+		if m.Pool != HonestPool {
+			p.selfishMembers = append(p.selfishMembers, int32(i))
+			memberWeights = append(memberWeights, p.weights[i])
+		}
+	}
+	if len(p.selfishMembers) > 0 {
+		p.selfishAlias = rng.NewAliasTable(memberWeights)
 	}
 	return p, nil
 }
@@ -346,6 +363,30 @@ func (p *Population) SampleMember(pool PoolID, r *rng.Source) Miner {
 		panic(fmt.Sprintf("mining: SampleMember of empty pool %d", pool))
 	}
 	return p.miners[p.poolMembers[pool][p.poolAlias[pool].Draw(r)]]
+}
+
+// SampleSelfish draws the producer of the next block conditioned on the
+// producer being selfish (any pool >= 1), weighted by hash power across all
+// selfish pools. Fast-forward mode uses it to resume at the first
+// interesting find after skipping a geometric stretch of honest blocks. It
+// consumes exactly two generator outputs and panics if the population has no
+// selfish power, which indicates a configuration error.
+func (p *Population) SampleSelfish(r *rng.Source) Miner {
+	if p.selfishAlias == nil {
+		panic("mining: SampleSelfish on a population with no selfish miners")
+	}
+	return p.miners[p.selfishMembers[p.selfishAlias.Draw(r)]]
+}
+
+// SoleMember returns the pool's only member if the pool has exactly one, in
+// which case pool-conditional attribution needs no draw at all — the bulk
+// block-append fast path. The second return is false for empty and
+// multi-member pools.
+func (p *Population) SoleMember(pool PoolID) (Miner, bool) {
+	if pool < 0 || int(pool) >= len(p.poolMembers) || len(p.poolMembers[pool]) != 1 {
+		return Miner{}, false
+	}
+	return p.Miner(int(p.poolMembers[pool][0])), true
 }
 
 // NextEvent draws the next block event under a Poisson race at the given

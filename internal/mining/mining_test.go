@@ -456,3 +456,91 @@ func TestSampleMemberDistribution(t *testing.T) {
 	}()
 	p.SampleMember(3, r)
 }
+
+func TestSampleSelfishDistribution(t *testing.T) {
+	// The combined selfish alias path must reproduce the hash-power
+	// distribution conditioned on the producer being selfish, across pools.
+	p, err := NewPopulation([]Miner{
+		{ID: 1, Power: 1, Pool: 1},
+		{ID: 2, Power: 3, Pool: 2},
+		{ID: 3, Power: 2, Pool: 2},
+		{ID: 4, Power: 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(654)
+	const n = 100000
+	counts := make(map[chain.MinerID]int)
+	for i := 0; i < n; i++ {
+		m := p.SampleSelfish(r)
+		if m.Pool == HonestPool {
+			t.Fatalf("SampleSelfish returned honest miner %d", m.ID)
+		}
+		counts[m.ID]++
+	}
+	// Conditional weights: 1/6, 3/6, 2/6 of the selfish total.
+	for id, want := range map[chain.MinerID]float64{1: 1.0 / 6, 2: 0.5, 3: 1.0 / 3} {
+		got := float64(counts[id]) / n
+		sigma := math.Sqrt(want * (1 - want) / n)
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("member %d frequency %v, want %v +/- 5 sigma", id, got, want)
+		}
+	}
+}
+
+func TestSampleSelfishConsumesTwoDraws(t *testing.T) {
+	// Like Sample, the conditional draw must consume exactly two generator
+	// outputs so fast-forward mode has a fixed consumption pattern.
+	p, err := TwoAgent(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rng.New(777)
+	b := rng.New(777)
+	for i := 0; i < 100; i++ {
+		p.SampleSelfish(a)
+		b.Uint64()
+		b.Float64()
+	}
+	if got, want := a.Uint64(), b.Uint64(); got != want {
+		t.Fatal("SampleSelfish consumption pattern is not two outputs per draw")
+	}
+}
+
+func TestSampleSelfishPanicsWithoutSelfishPower(t *testing.T) {
+	p, err := Equal(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleSelfish on an all-honest population did not panic")
+		}
+	}()
+	p.SampleSelfish(rng.New(1))
+}
+
+func TestSoleMember(t *testing.T) {
+	p, err := MultiAgent(0.2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := p.SoleMember(HonestPool)
+	if !ok || m.ID != 3 || m.Pool != HonestPool {
+		t.Errorf("SoleMember(honest) = %+v, %v; want the honest aggregate (ID 3)", m, ok)
+	}
+	if m, ok := p.SoleMember(1); !ok || m.ID != 1 {
+		t.Errorf("SoleMember(1) = %+v, %v; want pool-1 agent", m, ok)
+	}
+	multi, err := Equal(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := multi.SoleMember(1); ok {
+		t.Error("SoleMember of a 4-member pool reported a sole member")
+	}
+	if _, ok := multi.SoleMember(7); ok {
+		t.Error("SoleMember of a nonexistent pool reported a member")
+	}
+}

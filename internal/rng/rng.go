@@ -25,6 +25,11 @@ const (
 // concurrent use; create one Source per goroutine (see Split).
 type Source struct {
 	s [4]uint64
+
+	// anti is XORed into every Uint64 output. It is zero for a normal
+	// stream and ^0 for an antithetic stream (see SetAntithetic); keeping
+	// it a mask makes the antithetic transform free on the hot path.
+	anti uint64
 }
 
 // New returns a Source seeded from seed via splitmix64, as recommended by the
@@ -41,9 +46,28 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// SetAntithetic switches the Source between its normal stream and the
+// antithetic mirror of that stream. The antithetic stream complements every
+// Uint64 output bitwise, so each uniform Float64 draw u becomes exactly
+// (1 - 2^-53) - u: the reflection of u about 1/2 on the 53-bit lattice.
+// Paired runs over (seed, normal) and (seed, antithetic) therefore see
+// perfectly negatively correlated uniforms, the basis of the antithetic
+// variance-reduction estimator. The flag survives Reseed so a paired worker
+// can be configured once and reseeded per run like any other Source.
+func (r *Source) SetAntithetic(on bool) {
+	if on {
+		r.anti = ^uint64(0)
+	} else {
+		r.anti = 0
+	}
+}
+
+// Antithetic reports whether the Source is producing the antithetic stream.
+func (r *Source) Antithetic() bool { return r.anti != 0 }
+
 // Reseed resets the generator in place to the state New(seed) produces,
 // without allocating. Batch runners use it to reuse one Source per worker
-// across many independently seeded runs.
+// across many independently seeded runs. The antithetic flag is preserved.
 func (r *Source) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
@@ -70,7 +94,7 @@ func (r *Source) Uint64() uint64 {
 	s[2] ^= t
 	s[3] = rotl(s[3], 45)
 
-	return result
+	return result ^ r.anti
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 random bits.
@@ -132,6 +156,104 @@ func (r *Source) ExpUnit() float64 {
 	// always finite and non-negative.
 	return -math.Log(1 - r.Float64())
 }
+
+// Geometric returns the number of failures before the first success in a
+// Bernoulli(p) sequence: a geometrically distributed integer on {0, 1, 2, ...}
+// with P(X = k) = (1-p)^k * p. It is the fast-forward sampler for the length
+// of an uneventful stretch, and like ExpUnit it consumes exactly one
+// generator output per draw, so enabling stretch skipping perturbs no other
+// consumer's view of the stream. It panics if p is not in (0, 1].
+//
+// The draw inverts the CDF through the exponential representation
+// X = floor(E / -ln(1-p)) with E ~ Exp(1): one draw, one log, one divide.
+// For p == 1 the divisor is +Inf and the result is always 0, as required.
+func (r *Source) Geometric(p float64) int {
+	if !(p > 0 && p <= 1) { // negated form also rejects NaN
+		panic("rng: Geometric called with p outside (0, 1]")
+	}
+	return r.GeometricLog(-math.Log1p(-p))
+}
+
+// GeometricLog is Geometric with the denominator -Log1p(-p) precomputed by
+// the caller: hot loops drawing at a fixed p hoist the logarithm out of
+// every draw. It consumes exactly one generator output.
+func (r *Source) GeometricLog(negLogQ float64) int {
+	k := r.ExpUnit() / negLogQ
+	// Guard the conversion: for tiny p the ratio can exceed what an int
+	// holds (and Inf/Inf above is impossible because ExpUnit is finite).
+	if k >= maxGeometric {
+		return maxGeometric
+	}
+	return int(k)
+}
+
+// maxGeometric caps Geometric's return value so the float-to-int conversion
+// is always defined. 2^62 failures is beyond any simulable horizon; callers
+// clamp to their remaining budget anyway.
+const maxGeometric = 1 << 62
+
+// Normal returns a standard normal value via the Box–Muller transform. It
+// consumes exactly two generator outputs per draw. The polar (Marsaglia)
+// variant would be faster on average but consumes a variable number of
+// outputs, which would make consumers' stream consumption data-dependent.
+func (r *Source) Normal() float64 {
+	// ExpUnit is -ln(1-u1) with 1-u1 in (0, 1], so the sqrt argument is
+	// finite and non-negative; u2 spins the angle.
+	rad := math.Sqrt(2 * r.ExpUnit())
+	return rad * math.Cos(2*math.Pi*r.Float64())
+}
+
+// GammaInt returns a Gamma(k, 1) value for integer shape k >= 0: the sum of k
+// independent unit-mean exponentials. The fast-forward path uses it to bulk
+// the total duration of a skipped stretch in O(1) instead of k ExpUnit draws.
+// GammaInt(0) is exactly 0 (an empty sum) and consumes no generator output.
+// Unlike ExpUnit and Geometric, large shapes consume a variable number of
+// outputs (Marsaglia–Tsang rejection), so GammaInt belongs on streams whose
+// consumption pattern is already mode-specific, like the fast-forward time
+// axis. It panics if k < 0.
+func (r *Source) GammaInt(k int) float64 {
+	if k < 0 {
+		panic("rng: GammaInt called with negative shape")
+	}
+	// For small shapes the direct sum is both cheapest and exact in
+	// distribution; rejection only wins once k is large enough that a
+	// handful of squeeze iterations beat k log calls.
+	if k <= smallGammaShape {
+		var sum float64
+		for i := 0; i < k; i++ {
+			sum += r.ExpUnit()
+		}
+		return sum
+	}
+	// Marsaglia–Tsang (2000) squeeze for shape a >= 1: draw x ~ N(0,1),
+	// v = (1 + c*x)^3, accept v*d with probability squeezed against
+	// ln(u); acceptance is ~99.8% for large shapes.
+	d := float64(k) - 1.0/3.0
+	c := 1.0 / math.Sqrt(9.0*d)
+	for {
+		x := r.Normal()
+		v := 1.0 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1.0-0.0331*x*x*x*x {
+			return d * v
+		}
+		// math.Log(0) is -Inf, which correctly always accepts.
+		if math.Log(u) < 0.5*x*x+d*(1.0-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// smallGammaShape is the largest shape GammaInt samples by direct summation.
+// Each summed term costs a logarithm, while a Marsaglia–Tsang draw costs
+// roughly three log-equivalents (a Normal plus the squeeze) regardless of
+// shape, so rejection wins from shape ~5 up; fast-forward stretch lengths at
+// paper alphas have mean 2–10, right in the band this cutoff decides.
+const smallGammaShape = 4
 
 // Categorical draws an index in [0, len(weights)) with probability
 // proportional to weights[i]. Negative weights are treated as zero. It panics

@@ -47,6 +47,14 @@ type Result struct {
 	PoolUncleDistances   stats.Counter
 	HonestUncleDistances stats.Counter
 
+	// EventsByPool counts block-creation events by producing pool (entry 0
+	// is the honest crowd); the entries sum to Blocks. Unlike the reward
+	// tallies it is a pre-settlement count, so the selfish share of events
+	// (see SelfishEventShare) is an average of Blocks i.i.d. indicators
+	// with exactly known mean Alpha — the control-variate statistic the
+	// variance-reduced estimators in internal/experiments regress against.
+	EventsByPool []int64
+
 	// OccupancyByPool counts block events by the (Ls, Lh) race frame
 	// each pool observed just before the event, indexed by PoolID-1;
 	// normalizing estimates the pool's stationary distribution. For a
@@ -115,6 +123,22 @@ func (r Result) MinerReward(id chain.MinerID) chain.Reward {
 // iteration-heavy callers should use the dense MinerRewards directly.
 func (r Result) PerMiner() map[chain.MinerID]chain.Reward {
 	return chain.PerMinerView(r.MinerRewards, r.MinerSeen)
+}
+
+// SelfishEventShare returns the fraction of block-creation events produced
+// by any colluding pool. Its exact expectation is Alpha (each event's
+// producer is an independent hash-power draw), which makes it the natural
+// control variate for any per-run metric: the regression residual removes
+// the sampling noise that the event draw sequence and the metric share.
+func (r Result) SelfishEventShare() float64 {
+	if r.Blocks == 0 || len(r.EventsByPool) == 0 {
+		return 0
+	}
+	var selfish int64
+	for _, n := range r.EventsByPool[1:] {
+		selfish += n
+	}
+	return float64(selfish) / float64(r.Blocks)
 }
 
 // normalizer returns the scenario's block count (regular, or regular plus
@@ -316,6 +340,7 @@ func settleRun(s *simulator) (Result, error) {
 		RegularCount:    settlement.RegularCount,
 		UncleCount:      settlement.UncleCount,
 		StaleCount:      settlement.StaleCount,
+		EventsByPool:    append([]int64(nil), s.events...),
 		OccupancyByPool: make([]map[core.State]int64, len(s.occ)),
 	}
 	for i := range s.occ {

@@ -108,6 +108,32 @@ type Config struct {
 	// timeless block-count engine, bit-identical to the pre-time path.
 	Time TimeConfig
 
+	// FastForward enables analytic skipping of uneventful stretches: while
+	// every pool's private branch is empty (the race origin), the engine
+	// samples the number of consecutive honest blocks before the next
+	// selfish find in one geometric draw, bulk-appends them, and resumes
+	// event-by-event at the interesting event. Results agree with the
+	// plain loop in distribution (pinned by the model-agreement suite) but
+	// not bit-for-bit: skipping consumes the random stream differently, so
+	// golden fingerprints apply per mode. Fast-forward runs are themselves
+	// bit-deterministic and parallel-safe (invariant 3 holds within the
+	// mode). It is silently ignored when a pool's strategy does not adopt
+	// at the (0, 1, 0) frame (the stretch would not be memoryless) or when
+	// the honest crowd has no hash power; it is rejected when combined
+	// with a feedback difficulty controller (inter-arrival times are then
+	// sequentially dependent, so stretches cannot be bulk-sampled).
+	// Strategies must be stateless functions of their frame, which the
+	// Strategy contract already requires.
+	FastForward bool
+
+	// Antithetic runs the simulation on the antithetic mirror of the
+	// seed's random streams: every uniform draw u is reflected to
+	// (1 - 2^-53) - u (see rng.Source.SetAntithetic). A (seed, plain) /
+	// (seed, antithetic) pair of runs is negatively correlated, so the
+	// pair's mean estimates the same quantities at reduced variance — the
+	// antithetic variance-reduction estimator in internal/experiments.
+	Antithetic bool
+
 	// Parallelism bounds the worker goroutines RunMany fans independent
 	// runs across. Zero means runtime.GOMAXPROCS(0); one forces
 	// sequential execution. The setting never changes results: per-run
@@ -157,6 +183,10 @@ func (c Config) validate() error {
 		if err := c.Time.Difficulty.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
+	}
+	if c.FastForward && c.Time.Enabled && c.Time.Difficulty.Rule != difficulty.Static {
+		return fmt.Errorf("%w: fast-forward requires a static difficulty rule "+
+			"(a feedback controller makes inter-arrival times sequentially dependent)", ErrBadConfig)
 	}
 	if err := c.Audit.validate(); err != nil {
 		return err
@@ -326,6 +356,23 @@ type simulator struct {
 	// aud is the runtime invariant auditor (see audit.go); nil unless
 	// cfg.Audit.Enabled, so the hot path pays one nil check per event.
 	aud *auditor
+
+	// Fast-forward state (see fastforward.go). ffwd reports that
+	// cfg.FastForward is on and every pool's strategy passed the
+	// adopt-at-origin probe; ffwdMiner is the honest crowd's sole member
+	// (bulk runs need no attribution draws then), or -1 when honest power
+	// is spread over several miners. ffwdLogQ caches the geometric draw's
+	// denominator -Log1p(-alpha), hoisting the logarithm out of every
+	// stretch.
+	ffwd      bool
+	ffwdMiner chain.MinerID
+	ffwdLogQ  float64
+
+	// events counts block-creation events by producing pool (entry 0: the
+	// honest crowd), feeding Result.EventsByPool. The selfish share of
+	// events is the control-variate statistic with exactly known mean
+	// alpha.
+	events []int64
 }
 
 // init prepares the simulator for one run of cfg, reusing any storage left
@@ -357,6 +404,7 @@ func (s *simulator) init(cfg Config) {
 	} else {
 		s.random.Reseed(cfg.Seed)
 	}
+	s.random.SetAntithetic(cfg.Antithetic)
 	if cap(s.published) < cfg.Blocks+1 {
 		s.published = make([]bool, 1, cfg.Blocks+1)
 		s.inRecent = make([]bool, 1, cfg.Blocks+1)
@@ -411,7 +459,14 @@ func (s *simulator) init(cfg Config) {
 	if cap(s.chainScratch) < window+2 {
 		s.chainScratch = make([]chain.BlockID, 0, window+2)
 	}
+	if cap(s.events) < numPools+1 {
+		s.events = make([]int64, numPools+1)
+	} else {
+		s.events = s.events[:numPools+1]
+		clear(s.events)
+	}
 	s.initTime(cfg)
+	s.initFastForward(cfg)
 	s.initAudit(cfg)
 }
 
@@ -993,11 +1048,39 @@ func (s *simulator) honestEvent(miner chain.MinerID) error {
 func (s *simulator) run() error {
 	pop := s.cfg.Population
 	for i := 0; i < s.cfg.Blocks; i++ {
+		if s.ffwd && s.atRaceOrigin() {
+			skipped, err := s.fastForward(s.cfg.Blocks - i)
+			if err != nil {
+				return err
+			}
+			i += skipped
+			if i >= s.cfg.Blocks {
+				return nil
+			}
+			// The stretch ended because the next producer is selfish:
+			// run that event now, drawn conditionally on being selfish.
+			s.recordState()
+			if s.timing {
+				s.advanceClock()
+			}
+			miner := pop.SampleSelfish(s.random)
+			s.events[miner.Pool]++
+			if err := s.poolEvent(int(miner.Pool)-1, miner.ID); err != nil {
+				return err
+			}
+			if s.aud != nil {
+				if err := s.auditEvent(i); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		s.recordState()
 		if s.timing {
 			s.advanceClock()
 		}
 		miner := pop.Sample(s.random)
+		s.events[miner.Pool]++
 		var err error
 		if miner.Pool != mining.HonestPool {
 			err = s.poolEvent(int(miner.Pool)-1, miner.ID)

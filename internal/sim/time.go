@@ -235,6 +235,7 @@ func (s *simulator) initTime(cfg Config) {
 	} else {
 		s.timeRandom.Reseed(timeSeed(cfg.Seed))
 	}
+	s.timeRandom.SetAntithetic(cfg.Antithetic)
 	p := cfg.Time.Difficulty
 	s.staticDifficulty = p.Initial
 	if p.Rule == difficulty.Static {

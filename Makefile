@@ -11,23 +11,35 @@ BENCH_BASELINE ?= bench-baseline.json
 BENCH_HISTORY ?= BENCH_HISTORY.json
 
 # The workloads gated against a same-machine baseline: the K-pool races,
-# the tournament engine, the continuous-time workloads, and the
-# fast-forward speedup pair. bench-gate and the CI workflow both read this
-# list, so the two cannot drift.
-BENCH_GATE_FILTERS := 2pools tournament eip100 profitability alpha05 fastforward
+# the tournament engine, the continuous-time workloads, the fast-forward
+# speedup pair, and the result-cache cold/warm pair (cold bounds the
+# cache's miss-path overhead; warm pins the fully cached sweep).
+# bench-gate and the CI workflow both read this list, so the two cannot
+# drift.
+BENCH_GATE_FILTERS := 2pools tournament eip100 profitability alpha05 fastforward cache
 
-.PHONY: check build vet test race agreement chaos-smoke fuzz-smoke bench bench-json bench-baseline bench-compare bench-gate bench-record bench-smoke
+.PHONY: check build vet test race agreement staticcheck chaos-smoke cache-smoke fuzz-smoke bench bench-json bench-baseline bench-compare bench-gate bench-record bench-smoke
 
 # How long each fuzz target runs in fuzz-smoke; CI uses the default.
 FUZZTIME ?= 10s
 
-check: vet test race agreement
+check: vet staticcheck test race agreement
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Skipped with a notice when the binary is not
+# on PATH (the tool is not vendored; CI installs it), so `make check` works
+# on a bare toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test: build
 	$(GO) test ./...
@@ -40,7 +52,7 @@ test: build
 # over parametric strategies and the chaos fault-injection suite) runs
 # under the detector.
 race:
-	$(GO) test -race -short ./internal/parallel ./internal/sim ./internal/experiments ./internal/chaos
+	$(GO) test -race -short ./internal/parallel ./internal/sim ./internal/experiments ./internal/resultcache ./internal/chaos
 
 # The cross-mode agreement suite by name: fast-forward vs plain
 # distribution agreement, the paired/antithetic estimators against their
@@ -59,14 +71,29 @@ chaos-smoke:
 	$(GO) test -race ./internal/chaos
 	$(GO) run ./cmd/ethselfish -quick -runs 1 -blocks 20000 -audit -audit-every 256 table2 >/dev/null
 
+# The result cache end to end through the CLI: a cold run populates a disk
+# journal, a warm rerun must serve at least one hit and reproduce the
+# figure bit for bit (invariant 3 makes hits exact, so cmp — not a fuzzy
+# diff — is the right check).
+cache-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/ethselfish -quick -cachedir "$$dir/cache" fig8 \
+		> "$$dir/cold.out" 2> "$$dir/cold.err"; \
+	$(GO) run ./cmd/ethselfish -quick -cachedir "$$dir/cache" fig8 \
+		> "$$dir/warm.out" 2> "$$dir/warm.err"; \
+	cmp "$$dir/cold.out" "$$dir/warm.out"; \
+	grep -Eq 'cache: [1-9][0-9]* hits' "$$dir/warm.err"; \
+	echo "cache-smoke: warm rerun bit-identical and served from cache"
+
 # Short randomized passes over the simulator's fuzz targets (the strategy
-# gate and the random-legal-reaction property) and the checkpoint-journal
-# decoder; Go allows one -fuzz target per invocation, hence the separate
-# runs.
+# gate and the random-legal-reaction property), the checkpoint-journal
+# decoder, and the result-cache journal decoder; Go allows one -fuzz
+# target per invocation, hence the separate runs.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzValidateReaction -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=NONE -fuzz=FuzzRandomLegalStrategySimulation -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/experiments
+	$(GO) test -run=NONE -fuzz=FuzzCacheDecode -fuzztime=$(FUZZTIME) ./internal/resultcache
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .

@@ -7,6 +7,7 @@ import (
 	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/experiments"
 	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/resultcache"
 	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
@@ -335,6 +336,34 @@ func BenchmarkPoolWars(b *testing.B) {
 		}
 		if len(result.Rows) != 12 {
 			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkPoolWarsCacheCold(b *testing.B) {
+	// A fresh result cache every op: the sweep's full address/miss/store
+	// overhead with zero hits, bounding what caching costs when it cannot
+	// help.
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Quick()
+		opts.Cache = resultcache.NewMemory(0)
+		if _, err := experiments.PoolWars(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolWarsCacheWarm(b *testing.B) {
+	// One prewarmed cache serves every op: ns/op is a fully cached sweep.
+	opts := experiments.Quick()
+	opts.Cache = resultcache.NewMemory(0)
+	if _, err := experiments.PoolWars(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PoolWars(opts); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

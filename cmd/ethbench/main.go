@@ -44,6 +44,7 @@ import (
 	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/experiments"
 	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/resultcache"
 	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
@@ -329,6 +330,36 @@ func benchmarks() []benchmark {
 		{name: "precision-plain-quick", run: precisionBench(experiments.EstimatorPlain)},
 		{name: "precision-cv-quick", run: precisionBench(experiments.EstimatorControlVariate)},
 		{name: "precision-antithetic-quick", run: precisionBench(experiments.EstimatorAntithetic)},
+		{name: "poolwars-cache-cold", run: func(b *testing.B, parallel int) {
+			// Cold path: a fresh cache every op, so ns/op carries the full
+			// address/miss/store overhead on top of poolwars-quick — the
+			// pair bounds what the cache costs when it never hits.
+			opts := experiments.Quick()
+			opts.Parallelism = parallel
+			for i := 0; i < b.N; i++ {
+				opts.Cache = resultcache.NewMemory(0)
+				if _, err := experiments.PoolWars(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "poolwars-cache-warm", run: func(b *testing.B, parallel int) {
+			// Warm path: one prewarmed cache serves every op, so ns/op is
+			// the cost of a fully cached sweep — the speedup over
+			// poolwars-quick is the cache's headline.
+			opts := experiments.Quick()
+			opts.Parallelism = parallel
+			opts.Cache = resultcache.NewMemory(0)
+			if _, err := experiments.PoolWars(opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.PoolWars(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 }
 

@@ -37,6 +37,15 @@
 //	               resume from any rows already journaled there; rerunning
 //	               the same command after an interrupt continues where it
 //	               stopped and produces bit-identical output
+//	-cache         serve content-addressed rows from an in-memory result
+//	               cache for this invocation (an "all" sweep reuses points
+//	               shared between experiments); hits are bit-identical to
+//	               recomputation
+//	-cachedir D    like -cache, but backed by an append-only journal in
+//	               directory D, so a rerun — of the same experiment or any
+//	               experiment sharing grid points — serves cached rows
+//	               instead of simulating; a summary of hits and misses is
+//	               printed to stderr on exit
 //	-audit         enable the simulator's runtime invariant auditor
 //	-audit-every N audit every Nth block event (default 1024; 1 checks
 //	               every event). Only meaningful with -audit
@@ -59,6 +68,7 @@ import (
 
 	"github.com/ethselfish/ethselfish/internal/difficulty"
 	"github.com/ethselfish/ethselfish/internal/experiments"
+	"github.com/ethselfish/ethselfish/internal/resultcache"
 	"github.com/ethselfish/ethselfish/internal/sim"
 	"github.com/ethselfish/ethselfish/internal/table"
 )
@@ -89,6 +99,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		rule        = fs.String("rule", "", "comma-separated difficulty rules for profitability (static, bitcoin, eip100)")
 		timeout     = fs.Duration("timeout", 0, "overall deadline (0: none); in-flight runs finish on expiry")
 		checkpoint  = fs.String("checkpoint", "", "journal completed rows to this file and resume from it")
+		cacheFlag   = fs.Bool("cache", false, "serve rows from an in-memory result cache for this invocation")
+		cachedir    = fs.String("cachedir", "", "persistent result cache directory (implies -cache, survives reruns)")
 		audit       = fs.Bool("audit", false, "enable the runtime invariant auditor")
 		auditEvery  = fs.Int("audit-every", 1024, "audit every Nth block event (with -audit)")
 		list        = fs.Bool("list", false, "list experiments and registered strategy specs")
@@ -145,6 +157,23 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 		defer ck.Close()
 		opts.Checkpoint = ck
+	}
+	if *cachedir != "" {
+		cache, err := resultcache.Open(*cachedir, 0)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+	} else if *cacheFlag {
+		opts.Cache = resultcache.NewMemory(0)
+	}
+	if cache := opts.Cache; cache != nil {
+		defer func() {
+			s := cache.Stats()
+			fmt.Fprintf(os.Stderr, "ethselfish: cache: %d hits (%d memory, %d disk), %d misses, %d stored\n",
+				s.Hits(), s.MemoryHits, s.DiskHits, s.Misses, s.Stores)
+			cache.Close()
+		}()
 	}
 
 	specs, err := parseSpecList(*strategies)

@@ -82,13 +82,6 @@ type BestResponseResult struct {
 	Rows []BestResponseRow
 }
 
-// bestResponseSeedKey keys one (gamma, alpha) point's seed family; every
-// candidate at the point shares it, so the arg-max is a paired comparison
-// over identical event streams.
-func bestResponseSeedKey(gamma, alpha float64) float64 {
-	return alpha + 977*gamma
-}
-
 // BestResponse runs the grid search: every candidate spec, simulated as a
 // lone pool at every (alpha, gamma) point of the Fig. 8 sweep × the gamma
 // grid, under Fig. 8's flat Ku = 4/8 schedule, with the whole
@@ -120,8 +113,12 @@ func bestResponse(opts Options, gammas, alphas []float64, specs []sim.StrategySp
 				return BestResponseResult{}, err
 			}
 			for _, spec := range specs {
+				// Every candidate at one (gamma, alpha) point shares the
+				// point's environment, hence (via jobkey.SeedBase) its
+				// stream family: the arg-max is a paired comparison over
+				// identical event streams.
 				jobs = append(jobs, simJob{
-					alpha: bestResponseSeedKey(gamma, alpha),
+					alpha: alpha,
 					pop:   pop,
 					specs: []sim.StrategySpec{spec},
 					build: func(*mining.Population) sim.Config {

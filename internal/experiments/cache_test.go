@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/resultcache"
+	"github.com/ethselfish/ethselfish/internal/sim"
+)
+
+// TestCacheCrossSweepReuse is the acceptance test for partial-grid reuse:
+// a Fig. 8 point cached by one invocation is served — not recomputed — to
+// a best-response sweep that contains the same (alpha, gamma) point,
+// because both resolve to the same canonical content address (Fig. 8's
+// implicit Algorithm 1 and the search's explicit [algorithm1] candidate
+// canonicalize identically).
+func TestCacheCrossSweepReuse(t *testing.T) {
+	opts := Options{Runs: 2, Blocks: 2000, Seed: 7, Parallelism: 2}
+	grid := sweep(fig8AlphaStart, fig8AlphaMax, fig8AlphaStep)
+	alphas := []float64{grid[7], grid[11]} // exact Fig. 8 grid values
+	gammas := []float64{fig8Gamma}
+	specs := []sim.StrategySpec{sim.MustStrategySpec("algorithm1")}
+
+	fig8Want, err := Fig8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brWant, err := bestResponse(opts, gammas, alphas, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := resultcache.NewMemory(0)
+	copts := opts
+	copts.Cache = cache
+	fig8Got, err := Fig8(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig8Got, fig8Want) {
+		t.Fatal("cached Fig8 differs from uncached Fig8")
+	}
+	after := cache.Stats()
+	if want := uint64(len(grid) * opts.Runs); after.Stores != want {
+		t.Fatalf("Fig8 stored %d rows, want %d", after.Stores, want)
+	}
+
+	brGot, err := bestResponse(copts, gammas, alphas, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(brGot, brWant) {
+		t.Error("best-response sweep served from the Fig8 cache differs from recomputation")
+	}
+	s := cache.Stats()
+	if s.Misses != after.Misses || s.Stores != after.Stores {
+		t.Errorf("best-response recomputed cached Fig8 points: misses %d -> %d, stores %d -> %d",
+			after.Misses, s.Misses, after.Stores, s.Stores)
+	}
+	if got, want := s.Hits()-after.Hits(), uint64(len(alphas)*len(gammas)*opts.Runs); got != want {
+		t.Errorf("best-response took %d cache hits, want %d", got, want)
+	}
+}
+
+// TestCacheWarmRerunBitIdentical: rerunning a sweep against a warm cache —
+// same process or a fresh one over the disk journal — serves every row
+// from the cache and reproduces the Series bit for bit.
+func TestCacheWarmRerunBitIdentical(t *testing.T) {
+	opts := Options{Runs: 2, Blocks: 2000, Seed: 5, Parallelism: 4}
+	want, err := PoolWars(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := uint64(len(want.Rows) * opts.Runs)
+
+	dir := t.TempDir()
+	c1, err := resultcache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copts := opts
+	copts.Cache = c1
+	got, err := PoolWars(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cold cached PoolWars differs from uncached")
+	}
+	if s := c1.Stats(); s.Misses != rows || s.Stores != rows {
+		t.Fatalf("cold run stats = %+v, want %d misses and stores", s, rows)
+	}
+
+	warm, err := PoolWars(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, want) {
+		t.Error("warm rerun differs from cold run")
+	}
+	if s := c1.Stats(); s.MemoryHits != rows || s.Misses != rows {
+		t.Errorf("warm rerun stats = %+v, want %d memory hits and no new misses", s, rows)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh invocation over the same cache directory serves the whole
+	// sweep from disk.
+	c2, err := resultcache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	copts.Cache = c2
+	reloaded, err := PoolWars(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reloaded, want) {
+		t.Error("disk-warm rerun differs from cold run")
+	}
+	if s := c2.Stats(); s.DiskHits != rows || s.Misses != 0 {
+		t.Errorf("disk-warm stats = %+v, want %d disk hits and 0 misses", s, rows)
+	}
+}
+
+// TestCacheDedupeWithinSweep: jobs resolving to the same content address
+// within one sweep are simulated once — duplicates never even consult the
+// cache; the representative's rows are scattered to them.
+func TestCacheDedupeWithinSweep(t *testing.T) {
+	opts := Options{Runs: 2, Blocks: 1000, Seed: 3, Parallelism: 2}
+	job := simJob{alpha: 0.3, build: func(*mining.Population) sim.Config {
+		return sim.Config{Gamma: 0.5}
+	}}
+
+	single, err := runSimGrid(opts, []simJob{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := resultcache.NewMemory(0)
+	opts.Cache = cache
+	series, err := runSimGrid(opts, []simJob{job, job, job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < len(series); j++ {
+		if !reflect.DeepEqual(series[j], series[0]) {
+			t.Fatalf("duplicate job %d differs from its representative", j)
+		}
+	}
+	if !reflect.DeepEqual(series[0].Runs, single[0].Runs) {
+		t.Error("deduplicated sweep differs from a single-job sweep")
+	}
+	s := cache.Stats()
+	if s.Misses != uint64(opts.Runs) || s.Stores != uint64(opts.Runs) || s.Hits() != 0 {
+		t.Errorf("stats = %+v: want exactly one compute per unique row (%d misses, %d stores, 0 hits)",
+			s, opts.Runs, opts.Runs)
+	}
+}
+
+// TestPrecisionCacheReuse: the adaptive precision study consults the cache
+// per run; a repeat of the same study against a warm cache computes
+// nothing new and reproduces the result exactly.
+func TestPrecisionCacheReuse(t *testing.T) {
+	opts := Options{Blocks: 2000, Seed: 11}
+	pc := PrecisionConfig{
+		Alphas:       []float64{0.25},
+		TargetRadius: 0.01,
+		MaxRuns:      8,
+		BatchRuns:    4,
+	}
+	want, err := Precision(opts, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := resultcache.NewMemory(0)
+	copts := opts
+	copts.Cache = cache
+	got, err := Precision(copts, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cached precision study differs from uncached")
+	}
+	misses := cache.Stats().Misses
+	again, err := Precision(copts, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Error("warm precision study differs from cold study")
+	}
+	if s := cache.Stats(); s.Misses != misses {
+		t.Errorf("warm precision study computed %d new rows, want 0", s.Misses-misses)
+	}
+}

@@ -3,17 +3,14 @@ package experiments
 import (
 	"bytes"
 	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
-	"math"
 	"os"
 	"sync"
 
-	"github.com/ethselfish/ethselfish/internal/rewards"
+	"github.com/ethselfish/ethselfish/internal/jobkey"
 	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
@@ -22,8 +19,9 @@ import (
 // sweep's full configuration, so an interrupted sweep resumes without
 // recompute — and, because per-run seeds are a pure function of the sweep
 // options (determinism invariant 3), a resumed sweep's output is
-// bit-identical to an uninterrupted one. The hash/journal pair is the seed
-// of the planned ethserved content-addressed result cache.
+// bit-identical to an uninterrupted one. The sweep hash is built from the
+// same jobkey encoder that addresses rows in internal/resultcache, so the
+// journal and the cache can never disagree about simulation identity.
 //
 // Format: JSON lines. The first line is {"version":1}; a sweep section
 // starts with {"sweep":{...}} naming the config hash and grid dimensions,
@@ -314,129 +312,24 @@ func isHex(s string) bool {
 
 // sweepHash computes the canonical hash identifying one runSimGrid sweep:
 // the options that shape the work (runs, blocks, seed) and, per job, the
-// point's seed family plus a fingerprint of the fully resolved simulation
-// config. Two sweeps share a hash exactly when determinism guarantees they
-// produce identical rows, so journaled rows are safe to reuse across
-// sessions — the content-address of the future ethserved result cache.
-func sweepHash(opts Options, jobs []simJob, configs []sim.Config) string {
-	h := sha256.New()
-	w := hashWriter{h: h}
-	w.str("ethselfish-sweep-v1")
-	w.u64(uint64(opts.Runs))
-	w.u64(uint64(opts.Blocks))
-	w.u64(opts.Seed)
-	w.u64(uint64(len(jobs)))
-	for j, job := range jobs {
-		cfg := configs[j]
-		w.str("job")
-		w.f64(job.alpha)
-		w.u64(pointSeed(opts, job.alpha))
-		w.f64(cfg.Gamma)
-		w.u64(uint64(cfg.MaxUnclesPerBlock))
-		w.bool(cfg.PoolOmitsUncleRefs)
-		// The statistical modes change which draws a run consumes, so they
-		// separate sweeps — but only when on, written as marks rather than
-		// booleans so every hash journaled before the modes existed stays
-		// valid.
-		if cfg.FastForward {
-			w.str("fastforward")
-		}
-		if cfg.Antithetic {
-			w.str("antithetic")
-		}
-		w.bool(cfg.Time.Enabled)
-		if cfg.Time.Enabled {
-			d := cfg.Time.Difficulty
-			w.u64(uint64(d.Rule))
-			w.f64(d.TargetRate)
-			w.u64(uint64(d.Epoch))
-			w.f64(d.Initial)
-		}
-		fingerprintSchedule(&w, cfg)
-		fingerprintPopulation(&w, cfg)
-		fingerprintStrategies(&w, cfg)
+// point's stream-family base seed plus its jobkey content address. Two
+// sweeps share a hash exactly when determinism guarantees they produce
+// identical rows, so journaled rows are safe to reuse across sessions. The
+// v2 tag marks the move from the journal's own config fingerprint to the
+// shared jobkey encoder (also used by the result cache's row addresses);
+// v1 journals still load structurally but their sections no longer match
+// any sweep, so they are never reused — only ignored.
+func sweepHash(opts Options, keys []jobkey.Key, seedBases []uint64) string {
+	w := jobkey.NewWriter()
+	w.Str("ethselfish-sweep-v2")
+	w.U64(uint64(opts.Runs))
+	w.U64(uint64(opts.Blocks))
+	w.U64(opts.Seed)
+	w.U64(uint64(len(keys)))
+	for j := range keys {
+		w.Str("job")
+		w.U64(seedBases[j])
+		w.Bytes(keys[j][:])
 	}
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// fingerprintSchedule hashes the reward schedule: its name and depth plus
-// probed reward values, so two same-named schedules with different payouts
-// cannot collide.
-func fingerprintSchedule(w *hashWriter, cfg sim.Config) {
-	sched := cfg.Schedule
-	if sched.MaxDepth() == 0 {
-		// The simulator substitutes Ethereum for the zero schedule, so the
-		// fingerprint must too or a defaulted and an explicit config would
-		// hash differently despite identical results.
-		sched = rewards.Ethereum()
-	}
-	w.str(sched.Name())
-	w.u64(uint64(sched.MaxDepth()))
-	probe := sched.MaxDepth()
-	if probe > 8 {
-		probe = 8
-	}
-	for d := 1; d <= probe; d++ {
-		w.f64(sched.Uncle(d))
-		w.f64(sched.Nephew(d))
-	}
-}
-
-// fingerprintPopulation hashes the miner set: count, and each miner's ID,
-// power, and pool label.
-func fingerprintPopulation(w *hashWriter, cfg sim.Config) {
-	pop := cfg.Population
-	w.u64(uint64(pop.Len()))
-	for i := 0; i < pop.Len(); i++ {
-		m := pop.Miner(i)
-		w.u64(uint64(m.ID))
-		w.f64(m.Power)
-		w.u64(uint64(m.Pool))
-	}
-}
-
-// fingerprintStrategies hashes the resolved per-pool strategy names
-// (Strategy.Name returns the canonical registry spec, so equal names mean
-// equal behavior).
-func fingerprintStrategies(w *hashWriter, cfg sim.Config) {
-	if cfg.Strategies != nil {
-		w.u64(uint64(len(cfg.Strategies)))
-		for _, s := range cfg.Strategies {
-			w.str(s.Name())
-		}
-		return
-	}
-	w.u64(1)
-	if cfg.Strategy != nil {
-		w.str(cfg.Strategy.Name())
-	} else {
-		w.str(sim.Algorithm1{}.Name())
-	}
-}
-
-// hashWriter streams length-prefixed primitives into a hash, so adjacent
-// fields can never alias each other.
-type hashWriter struct {
-	h   interface{ Write([]byte) (int, error) }
-	buf [8]byte
-}
-
-func (w *hashWriter) u64(v uint64) {
-	binary.LittleEndian.PutUint64(w.buf[:], v)
-	w.h.Write(w.buf[:])
-}
-
-func (w *hashWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
-
-func (w *hashWriter) bool(v bool) {
-	if v {
-		w.u64(1)
-	} else {
-		w.u64(0)
-	}
-}
-
-func (w *hashWriter) str(s string) {
-	w.u64(uint64(len(s)))
-	w.h.Write([]byte(s))
+	return w.Sum().String()
 }

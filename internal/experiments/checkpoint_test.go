@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/ethselfish/ethselfish/internal/jobkey"
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/sim"
 )
@@ -283,7 +284,12 @@ func TestJobErrorCoordinates(t *testing.T) {
 		t.Errorf("JobError = point %d alpha %g run %d, want point 1 alpha 0.3 run 0",
 			je.Point, je.Alpha, je.Run)
 	}
-	if want := sim.DeriveSeed(pointSeed(opts, 0.3), 0); je.Seed != want {
+	pop, popErr := mining.TwoAgent(0.3)
+	if popErr != nil {
+		t.Fatal(popErr)
+	}
+	base := jobkey.SeedBase(opts.Seed, sim.Config{Population: pop, Gamma: 2})
+	if want := sim.DeriveSeed(base, 0); je.Seed != want {
 		t.Errorf("JobError.Seed = %d, want %d", je.Seed, want)
 	}
 	for _, part := range []string{"grid point 1", "alpha=0.3", "run 0"} {
@@ -294,43 +300,53 @@ func TestJobErrorCoordinates(t *testing.T) {
 }
 
 // TestSweepHashSensitivity: the canonical hash separates sweeps whose rows
-// could differ and unifies repeats of the same sweep.
+// could differ and unifies repeats of the same sweep. Per-field identity
+// sensitivity lives in internal/jobkey; this pins the sweep-level layer the
+// journal adds on top.
 func TestSweepHashSensitivity(t *testing.T) {
 	opts := Options{Runs: 3, Blocks: 2000, Seed: 11}
-	jobs := testJobs()
-	configs := func(o Options, js []simJob, gamma float64) []sim.Config {
-		t.Helper()
-		out := make([]sim.Config, len(js))
-		for j, job := range js {
-			pop, err := mining.TwoAgent(job.alpha)
-			if err != nil {
-				t.Fatal(err)
-			}
-			out[j] = sim.Config{Population: pop, Gamma: gamma, Blocks: o.Blocks}
+	gammaJobs := func(gamma float64, anti bool) []simJob {
+		alphas := []float64{0.2, 0.35}
+		jobs := make([]simJob, len(alphas))
+		for i, alpha := range alphas {
+			jobs[i] = simJob{alpha: alpha, build: func(*mining.Population) sim.Config {
+				return sim.Config{Gamma: gamma, Antithetic: anti}
+			}}
 		}
-		return out
+		return jobs
+	}
+	hashOf := func(o Options, js []simJob) string {
+		t.Helper()
+		_, keys, seedBases, err := resolveJobs(o, js)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sweepHash(o, keys, seedBases)
 	}
 
-	base := sweepHash(opts, jobs, configs(opts, jobs, 0.5))
-	if again := sweepHash(opts, jobs, configs(opts, jobs, 0.5)); again != base {
+	base := hashOf(opts, gammaJobs(0.5, false))
+	if again := hashOf(opts, gammaJobs(0.5, false)); again != base {
 		t.Error("identical sweeps hash differently")
 	}
 
-	mutate := func(name string, o Options, gamma float64) {
-		if h := sweepHash(o, jobs, configs(o, jobs, gamma)); h == base {
-			t.Errorf("%s: hash unchanged", name)
-		}
-	}
 	seed := opts
 	seed.Seed = 12
-	mutate("seed", seed, 0.5)
+	if hashOf(seed, gammaJobs(0.5, false)) == base {
+		t.Error("seed: hash unchanged")
+	}
 	blocks := opts
 	blocks.Blocks = 4000
-	mutate("blocks", blocks, 0.5)
+	if hashOf(blocks, gammaJobs(0.5, false)) == base {
+		t.Error("blocks: hash unchanged")
+	}
 	runs := opts
 	runs.Runs = 4
-	mutate("runs", runs, 0.5)
-	mutate("gamma", opts, 0.6)
+	if hashOf(runs, gammaJobs(0.5, false)) == base {
+		t.Error("runs: hash unchanged")
+	}
+	if hashOf(opts, gammaJobs(0.6, false)) == base {
+		t.Error("gamma: hash unchanged")
+	}
 
 	// Engine-internal knobs that never change results must not change the
 	// hash either, or every resume with different parallelism would
@@ -338,26 +354,19 @@ func TestSweepHashSensitivity(t *testing.T) {
 	par := opts
 	par.Parallelism = 7
 	par.Audit = sim.AuditConfig{Enabled: true}
-	if h := sweepHash(par, jobs, configs(par, jobs, 0.5)); h != base {
+	if hashOf(par, gammaJobs(0.5, false)) != base {
 		t.Error("parallelism/audit changed the sweep hash")
 	}
 
 	// The statistical modes change the draws a run consumes, so each must
-	// separate the sweep — and, hashed as conditional marks, leave every
-	// mode-off hash exactly where it was before the modes existed.
-	ffCfgs := configs(opts, jobs, 0.5)
-	for i := range ffCfgs {
-		ffCfgs[i].FastForward = true
-	}
-	ffHash := sweepHash(opts, jobs, ffCfgs)
+	// separate the sweep.
+	ff := opts
+	ff.FastForward = true
+	ffHash := hashOf(ff, gammaJobs(0.5, false))
 	if ffHash == base {
 		t.Error("fast-forward mode did not change the sweep hash")
 	}
-	antiCfgs := configs(opts, jobs, 0.5)
-	for i := range antiCfgs {
-		antiCfgs[i].Antithetic = true
-	}
-	antiHash := sweepHash(opts, jobs, antiCfgs)
+	antiHash := hashOf(opts, gammaJobs(0.5, true))
 	if antiHash == base || antiHash == ffHash {
 		t.Error("antithetic mode did not get its own sweep hash")
 	}

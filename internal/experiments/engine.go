@@ -4,24 +4,31 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/ethselfish/ethselfish/internal/jobkey"
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/parallel"
+	"github.com/ethselfish/ethselfish/internal/resultcache"
 	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
 // This file is the experiment engine shared by every driver. Drivers
-// describe their parameter grid; the engine schedules the work items across
-// a worker pool and reassembles results in grid order, so a driver never
-// hand-rolls a sweep loop. Two layers:
+// describe their parameter grid; the engine turns it into rows through an
+// explicit pipeline — request → jobs → rows:
 //
 //   - grid evaluates an arbitrary function at every grid point (used
 //     directly by the analytic drivers, whose points are closed-form
 //     solves).
-//   - runSimGrid flattens (grid-point × run) into individual simulation
-//     work items so a sweep's total parallelism is points*runs rather than
-//     whichever axis happens to be longer. Per-run seeds are derived
+//   - runSimGrid resolves each job to a full sim.Config, derives its
+//     canonical content address (jobkey.ForConfig) and stream-family base
+//     seed (jobkey.SeedBase), and flattens (grid-point × run) into
+//     individually addressed rows. Rows whose addresses coincide within the
+//     sweep are computed once and scattered; the remaining unique rows are
+//     served from the result cache or checkpoint journal when present, and
+//     simulated across the worker pool otherwise. Per-run seeds are derived
 //     exactly as the sequential sim.RunMany would derive them, so the
-//     assembled Series are bit-identical to a sequential sweep.
+//     assembled Series are bit-identical to a sequential sweep — which is
+//     also why a cached row is exact: by determinism invariant 3, a row is
+//     a pure function of its content address.
 
 // grid evaluates fn at grid points 0..n-1 across at most workers
 // goroutines (zero or negative workers: GOMAXPROCS) and returns the results
@@ -35,22 +42,17 @@ func grid[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // power and a builder for the rest of the configuration. The builder must
 // be safe to call concurrently with other builders (it normally just fills
 // in literals). A nil pop means the classic two-agent population at alpha;
-// multi-pool drivers supply their own population and use alpha purely as
-// the point's seed key. Pool strategies are named by specs and resolved
-// through the sim registry (one spec per pool, in pool order); a nil specs
-// slice keeps whatever the builder configured (the engine's default is
-// Algorithm 1 everywhere).
+// multi-pool drivers supply their own population, in which case alpha is
+// purely the point's error-report label — identity and seeding both come
+// from the resolved config's content address, never from alpha. Pool
+// strategies are named by specs and resolved through the sim registry (one
+// spec per pool, in pool order); a nil specs slice keeps whatever the
+// builder configured (the engine's default is Algorithm 1 everywhere).
 type simJob struct {
 	alpha float64
 	pop   *mining.Population
 	specs []sim.StrategySpec
 	build func(pop *mining.Population) sim.Config
-}
-
-// pointSeed derives the base seed of one grid point, keyed by alpha so
-// every point gets an independent stream family regardless of sweep order.
-func pointSeed(opts Options, alpha float64) uint64 {
-	return opts.Seed + uint64(alpha*1e6)
 }
 
 // JobError locates a failure within a sweep: the grid point, its alpha,
@@ -60,7 +62,7 @@ type JobError struct {
 	// Point is the grid-point (job) index within the sweep.
 	Point int
 
-	// Alpha is the grid point's pool hash-power key.
+	// Alpha is the grid point's pool hash-power label.
 	Alpha float64
 
 	// Run is the run index within the point, and Seed the derived seed
@@ -79,22 +81,19 @@ func (e *JobError) Error() string {
 
 func (e *JobError) Unwrap() error { return e.Err }
 
-// runSimGrid executes every (grid-point × run) work item across the
-// engine's workers and returns one Series per job, in job order with runs
-// in run order — bit-identical to running sim.RunMany sequentially at each
-// point. Failures carry their sweep coordinates via JobError; cancellation
-// via opts.Ctx returns the context error once in-flight runs drain. With
-// opts.Checkpoint set, completed rows are journaled as they finish and
-// journaled rows are reused instead of recomputed.
-func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
-	configs := make([]sim.Config, len(jobs))
+// resolveJobs turns driver jobs into fully resolved configs plus their two
+// canonical identities: the content address (what the row is) and the
+// stream-family base seed (which random draws its runs consume).
+func resolveJobs(opts Options, jobs []simJob) (configs []sim.Config, keys []jobkey.Key, seedBases []uint64, err error) {
+	configs = make([]sim.Config, len(jobs))
+	keys = make([]jobkey.Key, len(jobs))
+	seedBases = make([]uint64, len(jobs))
 	for j, job := range jobs {
 		pop := job.pop
 		if pop == nil {
-			var err error
 			pop, err = mining.TwoAgent(job.alpha)
 			if err != nil {
-				return nil, err
+				return nil, nil, nil, err
 			}
 		}
 		cfg := job.build(pop)
@@ -110,17 +109,39 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 			// picks up the job's runs.
 			strategies, err := sim.NewStrategies(job.specs)
 			if err != nil {
-				return nil, err
+				return nil, nil, nil, err
 			}
 			cfg.Strategies = strategies
 		}
 		configs[j] = cfg
+		keys[j] = jobkey.ForConfig(cfg)
+		seedBases[j] = jobkey.SeedBase(opts.Seed, cfg)
+	}
+	return configs, keys, seedBases, nil
+}
+
+// runSimGrid executes every (grid-point × run) row of a sweep and returns
+// one Series per job, in job order with runs in run order — bit-identical
+// to running sim.RunMany sequentially at each point. Failures carry their
+// sweep coordinates via JobError; cancellation via opts.Ctx returns the
+// context error once in-flight runs drain.
+//
+// Rows flow through the pipeline: each is content-addressed; addresses
+// repeated within the sweep are computed once and the result scattered to
+// every duplicate; each unique address is looked up in opts.Cache and then
+// opts.Checkpoint before any simulation runs, and whichever store missed is
+// backfilled from the one that hit (or from the fresh run), so the journal
+// stays complete and the cache warms even on resumed sweeps.
+func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
+	configs, keys, seedBases, err := resolveJobs(opts, jobs)
+	if err != nil {
+		return nil, err
 	}
 
 	var header sweepHeader
 	if opts.Checkpoint != nil {
 		header = sweepHeader{
-			Hash:   sweepHash(opts, jobs, configs),
+			Hash:   sweepHash(opts, keys, seedBases),
 			Jobs:   len(jobs),
 			Runs:   opts.Runs,
 			Blocks: opts.Blocks,
@@ -128,19 +149,69 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 		}
 	}
 
+	// Address every row, then deduplicate: rows sharing a content address
+	// are the same pure function evaluation, so only the first occurrence
+	// is dispatched and the rest alias its result. The representative
+	// choice is deterministic (first in grid order), so checkpoint journals
+	// written by deduplicated sweeps resume identically.
+	n := len(jobs) * opts.Runs
+	seeds := make([]uint64, n)
+	rowKeys := make([]jobkey.Key, n)
+	repOf := make([]int, n)
+	firstAt := make(map[jobkey.Key]int, n)
+	unique := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		j, r := k/opts.Runs, k%opts.Runs
+		seeds[k] = sim.DeriveSeed(seedBases[j], r)
+		rowKeys[k] = keys[j].Row(seeds[k])
+		if first, ok := firstAt[rowKeys[k]]; ok {
+			repOf[k] = first
+			continue
+		}
+		firstAt[rowKeys[k]] = k
+		repOf[k] = k
+		unique = append(unique, k)
+	}
+
 	// Each worker reuses one simulator (tree, arena, scratch) across all
 	// the work items it processes; reuse never changes results, so the
 	// grid stays bit-identical to sequential fresh-simulator runs.
-	results, _, err := parallel.MapWithCtx(opts.Ctx, opts.Parallelism, len(jobs)*opts.Runs, sim.NewRunner,
-		func(rn *sim.Runner, k int) (sim.Result, error) {
+	uniqueResults, _, err := parallel.MapWithCtx(opts.Ctx, opts.Parallelism, len(unique), sim.NewRunner,
+		func(rn *sim.Runner, u int) (sim.Result, error) {
+			k := unique[u]
 			j, r := k/opts.Runs, k%opts.Runs
-			seed := sim.DeriveSeed(pointSeed(opts, jobs[j].alpha), r)
+			seed := seeds[k]
+			fail := func(err error) (sim.Result, error) {
+				return sim.Result{}, &JobError{Point: j, Alpha: jobs[j].alpha, Run: r, Seed: seed, Err: err}
+			}
+			addr := rowKeys[k].String()
+			if opts.Cache != nil {
+				res, ok, err := opts.Cache.Get(addr, seed)
+				if err != nil {
+					return fail(err)
+				}
+				if ok {
+					// Backfill the journal so a resume of this sweep is
+					// complete even if the cache is gone by then.
+					if opts.Checkpoint != nil {
+						if err := opts.Checkpoint.record(header, j, r, seed, res); err != nil {
+							return fail(err)
+						}
+					}
+					return res, nil
+				}
+			}
 			if opts.Checkpoint != nil {
 				res, ok, err := opts.Checkpoint.lookup(header.Hash, j, r, seed)
 				if err != nil {
-					return sim.Result{}, &JobError{Point: j, Alpha: jobs[j].alpha, Run: r, Seed: seed, Err: err}
+					return fail(err)
 				}
 				if ok {
+					if opts.Cache != nil {
+						if err := opts.Cache.Put(addr, seed, res); err != nil {
+							return fail(err)
+						}
+					}
 					return res, nil
 				}
 			}
@@ -148,19 +219,37 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 			cfg.Seed = seed
 			res, err := rn.Run(cfg)
 			if err != nil {
-				return sim.Result{}, &JobError{Point: j, Alpha: jobs[j].alpha, Run: r, Seed: seed, Err: err}
+				return fail(err)
 			}
 			if opts.Checkpoint != nil {
 				// Journal before returning so a cancellation arriving
 				// while later items drain still persists this row.
 				if err := opts.Checkpoint.record(header, j, r, seed, res); err != nil {
-					return sim.Result{}, &JobError{Point: j, Alpha: jobs[j].alpha, Run: r, Seed: seed, Err: err}
+					return fail(err)
+				}
+			}
+			if opts.Cache != nil {
+				if err := opts.Cache.Put(addr, seed, res); err != nil {
+					return fail(err)
 				}
 			}
 			return res, nil
 		})
 	if err != nil {
 		return nil, err
+	}
+
+	// Scatter: place each unique result, then alias every duplicate to its
+	// representative. repOf always points at an earlier (already placed)
+	// index, so one forward pass suffices.
+	results := make([]sim.Result, n)
+	for u, k := range unique {
+		results[k] = uniqueResults[u]
+	}
+	for k := 0; k < n; k++ {
+		if repOf[k] != k {
+			results[k] = results[repOf[k]]
+		}
 	}
 
 	series := make([]sim.Series, len(jobs))
@@ -170,6 +259,32 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 		series[j] = sim.Series{Runs: results[j*opts.Runs : (j+1)*opts.Runs : (j+1)*opts.Runs]}
 	}
 	return series, nil
+}
+
+// cachedRun is the pipeline's single-row form, for drivers that adaptively
+// run simulations outside a fixed grid (the precision study): one run,
+// addressed under key+seed, served from cache when possible and stored
+// after a miss. A nil cache degenerates to a plain run.
+func cachedRun(rn *sim.Runner, cfg sim.Config, key jobkey.Key, cache *resultcache.Cache) (sim.Result, error) {
+	if cache == nil {
+		return rn.Run(cfg)
+	}
+	addr := key.Row(cfg.Seed).String()
+	res, ok, err := cache.Get(addr, cfg.Seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if ok {
+		return res, nil
+	}
+	res, err = rn.Run(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if err := cache.Put(addr, cfg.Seed, res); err != nil {
+		return sim.Result{}, err
+	}
+	return res, nil
 }
 
 // sweep materializes an inclusive arithmetic parameter sweep as a grid.

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/ethselfish/ethselfish/internal/jobkey"
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/sim"
 )
@@ -40,7 +41,7 @@ func TestRunSimGridMatchesRunMany(t *testing.T) {
 			Population:  pop,
 			Gamma:       fig8Gamma,
 			Blocks:      opts.Blocks,
-			Seed:        pointSeed(opts, alpha),
+			Seed:        jobkey.SeedBase(opts.Seed, sim.Config{Population: pop, Gamma: fig8Gamma}),
 			Parallelism: 1,
 		}
 		want, err := sim.RunMany(cfg, opts.Runs)

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/ethselfish/ethselfish/internal/resultcache"
 	"github.com/ethselfish/ethselfish/internal/sim"
 )
 
@@ -62,6 +63,16 @@ type Options struct {
 	// uninterrupted one. One open Checkpoint may serve many sweeps
 	// (tournament and best-response drivers run several grids).
 	Checkpoint *Checkpoint
+
+	// Cache, when non-nil, is consulted before any simulation runs: every
+	// (grid-point × run) row is content-addressed through the jobkey
+	// encoder, served from the cache on a hit, and stored after a miss.
+	// Because a row is a pure function of its address (determinism
+	// invariant 3), cache hits are bit-identical to recomputation — any
+	// sweep containing a previously cached point reuses its rows, even a
+	// sweep of a different experiment. One Cache may serve many sweeps and
+	// many invocations (via its disk journal; see resultcache.Open).
+	Cache *resultcache.Cache
 
 	// Audit enables the simulator's runtime invariant auditor for every
 	// run in the sweep. Auditing never changes results; see

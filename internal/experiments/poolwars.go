@@ -44,16 +44,6 @@ type PoolWarsResult struct {
 	Rows []PoolWarsRow
 }
 
-// poolWarsSeedKey derives a distinct engine seed key per grid point; the
-// hetero flag keeps the mixed-strategy rows off the homogeneous streams.
-func poolWarsSeedKey(alpha1, alpha2 float64, hetero bool) float64 {
-	key := alpha1 + 31*alpha2
-	if hetero {
-		key += 977
-	}
-	return key
-}
-
 // PoolWars runs the two-pool race at gamma = 0.5, scheduling the full
 // (alpha1 x alpha2) x run grid — both Algorithm-1 pools, plus one
 // heterogeneous row per alpha1 with an honest-control second pool — on the
@@ -88,9 +78,8 @@ func PoolWars(opts Options) (PoolWarsResult, error) {
 		if err != nil {
 			return PoolWarsResult{}, err
 		}
-		hetero := pt.specs[1].String() != algorithm1.String()
 		jobs[i] = simJob{
-			alpha: poolWarsSeedKey(pt.alpha1, pt.alpha2, hetero),
+			alpha: pt.alpha1,
 			pop:   pop,
 			specs: pt.specs,
 			build: func(*mining.Population) sim.Config {

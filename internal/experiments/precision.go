@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"github.com/ethselfish/ethselfish/internal/core"
+	"github.com/ethselfish/ethselfish/internal/jobkey"
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/rewards"
 	"github.com/ethselfish/ethselfish/internal/sim"
@@ -265,7 +266,13 @@ func precisionCell(opts Options, pc PrecisionConfig, schedule rewards.Schedule, 
 		FastForward: pc.FastForward,
 	}
 	rn := sim.NewRunner()
-	seedBase := pointSeed(opts, alpha)
+	seedBase := jobkey.SeedBase(opts.Seed, base)
+	// The cell's two row families — plain and antithetic mirror — have
+	// fixed content addresses; only the per-run seed varies.
+	plainKey := jobkey.ForConfig(base)
+	antiBase := base
+	antiBase.Antithetic = true
+	antiKey := jobkey.ForConfig(antiBase)
 
 	var acc stats.Accumulator // plain observations, or antithetic pair means
 	var all stats.Accumulator // antithetic halves (the plain-variance proxy)
@@ -278,7 +285,7 @@ func precisionCell(opts Options, pc PrecisionConfig, schedule rewards.Schedule, 
 			cfg := base
 			cfg.Seed = sim.DeriveSeed(seedBase, idx)
 			idx++
-			res, err := rn.Run(cfg)
+			res, err := cachedRun(rn, cfg, plainKey, opts.Cache)
 			if err != nil {
 				return PrecisionRow{}, err
 			}
@@ -286,7 +293,7 @@ func precisionCell(opts Options, pc PrecisionConfig, schedule rewards.Schedule, 
 			switch est {
 			case EstimatorAntithetic:
 				cfg.Antithetic = true
-				mirror, err := rn.Run(cfg)
+				mirror, err := cachedRun(rn, cfg, antiKey, opts.Cache)
 				if err != nil {
 					return PrecisionRow{}, err
 				}

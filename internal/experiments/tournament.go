@@ -57,12 +57,6 @@ type TournamentResult struct {
 	Share [][]float64
 }
 
-// tournamentSeedKey gives each (pair, alpha) match its own seed family on
-// the shared engine.
-func tournamentSeedKey(pair int, alpha float64) float64 {
-	return alpha + 31*float64(pair+1)
-}
-
 // Tournament plays a round-robin (including self-play) among the given
 // strategy specs: each pair races as two competing pools of equal hash
 // power at every alpha of the grid, at gamma = 0.5, with the full
@@ -95,14 +89,14 @@ func Tournament(opts Options, specs ...sim.StrategySpec) (TournamentResult, erro
 		}
 	}
 	jobs := make([]simJob, 0, len(pairs)*len(tournamentAlphas))
-	for pi, pair := range pairs {
+	for _, pair := range pairs {
 		for _, alpha := range tournamentAlphas {
 			pop, err := mining.MultiAgent(alpha, alpha)
 			if err != nil {
 				return TournamentResult{}, err
 			}
 			jobs = append(jobs, simJob{
-				alpha: tournamentSeedKey(pi, alpha),
+				alpha: alpha,
 				pop:   pop,
 				specs: []sim.StrategySpec{specs[pair.a], specs[pair.b]},
 				build: func(*mining.Population) sim.Config {

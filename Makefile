@@ -91,6 +91,7 @@ cache-smoke:
 # target per invocation, hence the separate runs.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzValidateReaction -fuzztime=$(FUZZTIME) ./internal/sim
+	$(GO) test -run=NONE -fuzz=FuzzDecisionTableCompile -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=NONE -fuzz=FuzzRandomLegalStrategySimulation -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/experiments
 	$(GO) test -run=NONE -fuzz=FuzzCacheDecode -fuzztime=$(FUZZTIME) ./internal/resultcache
@@ -129,5 +130,14 @@ bench-record:
 
 # One-iteration pass over every benchmark so bench code cannot rot; used by
 # CI, where full benchmark timings would be noise anyway.
+# Where bench-smoke leaves its CPU/heap profiles (uploaded as CI
+# artifacts, so a slow CI run can be diagnosed without reproducing it).
+BENCH_PROFILE_DIR ?= bench-profiles
+
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	mkdir -p $(BENCH_PROFILE_DIR)
+	$(GO) test -run=NONE -bench=. -benchtime=1x \
+		-cpuprofile=$(BENCH_PROFILE_DIR)/cpu.pprof \
+		-memprofile=$(BENCH_PROFILE_DIR)/mem.pprof \
+		-o $(BENCH_PROFILE_DIR)/bench.test .

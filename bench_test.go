@@ -253,6 +253,44 @@ func BenchmarkSimulator100kBlocks2PoolsStubborn(b *testing.B) {
 	b.ReportMetric(100000, "blocks/op")
 }
 
+func BenchmarkSimulator100kBlocks2PoolsTable(b *testing.B) {
+	// The decision-table showcase: two deep-racing parametric pools whose
+	// reactions all resolve inside the compiled table window, so the
+	// per-event strategy cost is a table load. Tables are warmed before
+	// timing (as the experiment engine does), and the steady state must
+	// stay allocation-free.
+	b.ReportAllocs()
+	pop, err := mining.MultiAgent(0.25, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	strategies, err := sim.NewStrategies([]sim.StrategySpec{
+		sim.MustStrategySpec("eager-publish:lead=3"),
+		sim.MustStrategySpec("stubborn:lead=1,trail=2"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.WarmDecisionTables(strategies)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := sim.Run(sim.Config{
+			Population: pop,
+			Gamma:      0.5,
+			Blocks:     100000,
+			Seed:       uint64(i),
+			Strategies: strategies,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.RegularCount == 0 {
+			b.Fatal("no settled blocks")
+		}
+	}
+	b.ReportMetric(100000, "blocks/op")
+}
+
 func BenchmarkSimulator100kBlocksEIP100(b *testing.B) {
 	// The continuous-time engine with the EIP100 difficulty feedback loop
 	// closed: one extra exponential draw per event (dedicated stream), a

@@ -155,6 +155,36 @@ func benchmarks() []benchmark {
 				}
 			}
 		}},
+		{name: "sim-100k-blocks-2pools-table", run: func(b *testing.B, parallel int) {
+			// The decision-table showcase: two deep-racing parametric
+			// pools whose reactions all resolve inside the compiled table
+			// window. Tables are warmed before timing, as the experiment
+			// engine does before fanning a sweep out.
+			pop, err := mining.MultiAgent(0.25, 0.2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			strategies, err := sim.NewStrategies([]sim.StrategySpec{
+				sim.MustStrategySpec("eager-publish:lead=3"),
+				sim.MustStrategySpec("stubborn:lead=1,trail=2"),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim.WarmDecisionTables(strategies)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     100000,
+					Seed:       uint64(i),
+					Strategies: strategies,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{name: "sim-100k-blocks-eip100", run: func(b *testing.B, parallel int) {
 			// The continuous-time engine with the difficulty feedback
 			// loop closed: exponential inter-arrival sampling, per-block

@@ -21,6 +21,47 @@ func TestListBenchmarks(t *testing.T) {
 	}
 }
 
+func TestBenchGateFiltersMatchWorkloads(t *testing.T) {
+	// The Makefile's bench-gate target records and compares one substring
+	// filter at a time; a filter that stops matching any workload would
+	// silently gate nothing. Pin every BENCH_GATE_FILTERS entry against
+	// the live workload registry (-list), the same names the gate runs.
+	raw, err := os.ReadFile(filepath.Join("..", "..", "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filters []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, "BENCH_GATE_FILTERS"); ok {
+			_, value, found := strings.Cut(rest, "=")
+			if !found {
+				t.Fatalf("unparseable BENCH_GATE_FILTERS line: %q", line)
+			}
+			filters = strings.Fields(value)
+		}
+	}
+	if len(filters) == 0 {
+		t.Fatal("no BENCH_GATE_FILTERS assignment found in Makefile")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Fields(out.String())
+	for _, filter := range filters {
+		matched := false
+		for _, name := range names {
+			if strings.Contains(name, filter) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("bench-gate filter %q matches no workload in -list:\n%s", filter, out.String())
+		}
+	}
+}
+
 func TestEmitsValidJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real benchmark")

@@ -65,6 +65,12 @@
 // Every spec-built strategy passes the same validateReaction protocol gate
 // as the hand-written ones: committing without a longer branch, publishing
 // nonexistent blocks, or retracting announced blocks fails the run loudly.
+// For the registry families this validation is a compile-time guarantee
+// rather than a per-event check: the simulator compiles each pure strategy
+// into a sim.DecisionTable whose every entry was validated when the table
+// was built, so the hot loop performs no per-event reaction validation at
+// all — a frame whose compiled reaction was rejected routes back to the
+// live strategy call and fails exactly where it always did.
 //
 // On top of the registry, two engines explore the space at scale:
 // experiments.Tournament plays every pair of specs as two equal-power
@@ -124,9 +130,12 @@
 // miners) with dense pool-label lookups, state occupancy is a dense
 // (Ls, Lh) grid increment per pool with a rare-overflow map, uncle
 // candidates are tracked as one incrementally maintained fork-child set
-// (visibility filtered per viewing pool) rather than rescanned, and reward
-// settlement tallies into dense per-miner slices indexed by MinerID with
-// the schedule's Ku/Kn pre-expanded into lookup tables. The hot path is
+// (visibility filtered per viewing pool) rather than rescanned, strategy
+// decisions resolve through compiled decision tables (sim.DecisionTable —
+// one table load per event instead of interface dispatch plus validation;
+// sim.Config.NoDecisionTables restores the live path, bit-identically),
+// and reward settlement tallies into dense per-miner slices indexed by
+// MinerID with the schedule's Ku/Kn pre-expanded into lookup tables. The hot path is
 // also allocation-free in steady state — including across run restarts:
 // each worker reuses one simulator (block tree, uncle arena, candidate
 // window, per-pool branches and occupancy grids, scratch buffers) for

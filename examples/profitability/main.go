@@ -58,7 +58,7 @@ func run() error {
 		}
 		early := series.EarlyRateOf(1)
 		steady := series.SteadyRateOf(1)
-		diff := series.Mean(func(r sim.Result) float64 { return r.FinalDifficulty })
+		diff := series.Mean(func(r *sim.Result) float64 { return r.FinalDifficulty })
 		pays := "no"
 		if steady.Mean() > alpha {
 			pays = "yes"

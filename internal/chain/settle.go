@@ -163,18 +163,13 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 		Refs: make([]UncleRef, 0, t.TotalUncleRefs()),
 	}
 	// One descending walk from the tip settles everything: per-block
-	// tallies commute, and the stale count only needs the settled[]
-	// marks afterwards. settled[id] records on-chain or referenced
-	// blocks — the two classes excluded from the stale scan. The chain
-	// is the length of almost every run, so the loop body stays lean:
-	// the dense tallies are grown through see only when a new miner ID
-	// appears, and uncle-free blocks (the vast majority) skip the
+	// tallies commute, and the stale count follows by conservation. The
+	// chain is the length of almost every run, so the loop body stays
+	// lean: the dense tallies are grown through see only when a new miner
+	// ID appears, and uncle-free blocks (the vast majority) skip the
 	// reference branch on the arena bounds alone.
-	settled := make([]bool, len(t.recs))
 	gen := t.Genesis()
-	settled[gen] = true
 	for id := tip; id != gen; id = BlockID(t.recs[id].parent) {
-		settled[id] = true
 		r := t.recs[id]
 		s.RegularCount++
 		m := int(r.miner)
@@ -199,7 +194,6 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 				// stale block for accounting purposes.
 				continue
 			}
-			settled[u] = true
 			s.UncleCount++
 			s.MinerRewards[m].Nephew += schedule.Nephew(d)
 			uncleMiner := s.see(MinerID(t.recs[u].miner))
@@ -212,11 +206,11 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 	for i, j := 0, len(s.Refs)-1; i < j; i, j = i+1, j-1 {
 		s.Refs[i], s.Refs[j] = s.Refs[j], s.Refs[i]
 	}
-	for id := range t.recs {
-		if !settled[id] {
-			s.StaleCount++
-		}
-	}
+	// Every non-genesis block is exactly one of regular, uncle, or stale,
+	// and a settled uncle is counted exactly once — validateUncle forbids
+	// referencing a block twice on one chain — so the stale count follows
+	// from the other two without marking and rescanning the whole tree.
+	s.StaleCount = len(t.recs) - 1 - s.RegularCount - s.UncleCount
 	return s, nil
 }
 

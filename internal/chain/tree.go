@@ -80,12 +80,17 @@ type Tree struct {
 	recs  []rec
 	links []links
 
-	// times holds each block's timestamp, parallel to recs. The timeless
-	// simulator leaves every entry zero; the continuous-time engine stamps
-	// each block with the simulation clock at its creation event, so
-	// timestamps are monotone non-decreasing along every branch. Kept as a
-	// separate SoA slice so the 20-byte rec stays cache-dense for chain
-	// walks that never touch time.
+	// times holds each block's timestamp, parallel to recs — but only
+	// once a nonzero stamp has been recorded. A timeless run stamps every
+	// block zero, so the slice stays empty and TimeOf answers zero without
+	// storing anything: appending 8 unread bytes per block is a measurable
+	// share of the block-event hot path. The first nonzero stamp
+	// materializes the zero prefix, after which the slice tracks recs
+	// one-to-one. The continuous-time engine stamps each block with the
+	// simulation clock at its creation event, so timestamps are monotone
+	// non-decreasing along every branch. Kept as a separate SoA slice so
+	// the 20-byte rec stays cache-dense for chain walks that never touch
+	// time.
 	times []float64
 
 	// uncleArena backs every block's Uncles slice. Extend appends the
@@ -123,7 +128,6 @@ func (t *Tree) Reset(cfg Config, genesisMiner MinerID) {
 	t.uncleArena = t.uncleArena[:0]
 	t.recs = append(t.recs, rec{parent: noBlock32, miner: int32(genesisMiner)})
 	t.links = append(t.links, noLinks)
-	t.times = append(t.times, 0)
 }
 
 // Genesis returns the genesis block's ID (always 0).
@@ -153,7 +157,7 @@ func (t *Tree) Block(id BlockID) Block {
 		Height: int(r.height),
 		Miner:  MinerID(r.miner),
 		Seq:    int(id),
-		Time:   t.times[id],
+		Time:   t.TimeOf(id),
 		Uncles: t.uncles(r),
 	}
 }
@@ -172,8 +176,14 @@ func (t *Tree) MinerOf(id BlockID) MinerID { return MinerID(t.recs[id].miner) }
 func (t *Tree) UnclesOf(id BlockID) []BlockID { return t.uncles(t.recs[id]) }
 
 // TimeOf returns the block's timestamp (zero for every block of a timeless
-// run, and for genesis).
-func (t *Tree) TimeOf(id BlockID) float64 { return t.times[id] }
+// run, and for genesis). Blocks beyond the stored stamps — all of them, in
+// a run that never recorded a nonzero stamp — are zero by representation.
+func (t *Tree) TimeOf(id BlockID) float64 {
+	if ts := t.times; int(id) < len(ts) {
+		return ts[id]
+	}
+	return 0
+}
 
 // BlockInfo returns the parent, height, and uncle references of a block in
 // one record load — the chain-walking accessor for hot paths.
@@ -292,7 +302,9 @@ func (t *Tree) ExtendAt(parent BlockID, miner MinerID, uncles []BlockID, at floa
 	}
 
 	start := len(t.uncleArena)
-	t.uncleArena = append(t.uncleArena, uncles...)
+	if len(uncles) > 0 {
+		t.uncleArena = append(t.uncleArena, uncles...)
+	}
 	id := BlockID(len(t.recs))
 	t.recs = append(t.recs, rec{
 		parent:     int32(parent),
@@ -302,7 +314,9 @@ func (t *Tree) ExtendAt(parent BlockID, miner MinerID, uncles []BlockID, at floa
 		uncleEnd:   int32(len(t.uncleArena)),
 	})
 	t.links = append(t.links, noLinks)
-	t.times = append(t.times, at)
+	if at != 0 || len(t.times) != 0 {
+		t.stamp(at)
+	}
 	id32 := int32(id)
 	if t.links[parent].firstChild == noBlock32 {
 		t.links[parent].firstChild = id32
@@ -314,6 +328,47 @@ func (t *Tree) ExtendAt(parent BlockID, miner MinerID, uncles []BlockID, at floa
 		t.links[u].referencedBy = id32
 	}
 	return id, nil
+}
+
+// stamp records the newest block's timestamp, materializing the zero
+// prefix for any blocks created before timestamps became nonzero. Out of
+// the ExtendAt hot path so the timeless common case stays a single branch.
+func (t *Tree) stamp(at float64) {
+	for len(t.times) < len(t.recs)-1 {
+		t.times = append(t.times, 0)
+	}
+	t.times = append(t.times, at)
+}
+
+// AppendLeaf appends a block on a childless parent, referencing no uncles —
+// the race-origin fast path's append, where the public tip is known to be
+// childless and the honest block deterministically extends it. It performs
+// exactly the mutations ExtendAt(parent, miner, nil, at) would, skipping the
+// uncle validation and fork bookkeeping a childless parent makes vacuous.
+// ok=false (and no mutation) when the parent is unknown, the miner invalid,
+// or the parent already has a child; the caller falls back to ExtendAt,
+// which reports the precise error.
+func (t *Tree) AppendLeaf(parent BlockID, miner MinerID, at float64) (id BlockID, ok bool) {
+	if !t.Contains(parent) || miner < 0 || t.links[parent].firstChild != noBlock32 {
+		return NoBlock, false
+	}
+	ue := int32(len(t.uncleArena))
+	id = BlockID(len(t.recs))
+	t.recs = append(t.recs, rec{
+		parent:     int32(parent),
+		height:     t.recs[parent].height + 1,
+		miner:      int32(miner),
+		uncleStart: ue,
+		uncleEnd:   ue,
+	})
+	t.links = append(t.links, noLinks)
+	if at != 0 || len(t.times) != 0 {
+		t.stamp(at)
+	}
+	// Re-index after the appends: they may have moved the backing array.
+	lp := &t.links[parent]
+	lp.firstChild, lp.lastChild = int32(id), int32(id)
+	return id, true
 }
 
 // ExtendRun appends a linear run of count blocks on parent — every block
@@ -348,7 +403,15 @@ func (t *Tree) ExtendRun(parent BlockID, miner MinerID, count int, start, step f
 	base := len(t.recs)
 	t.recs = slices.Grow(t.recs, count)[:base+count]
 	t.links = slices.Grow(t.links, count)[:base+count]
-	t.times = slices.Grow(t.times, count)[:base+count]
+	// Timestamps are stored only once one is nonzero (see the times field):
+	// a timeless run's bulk append skips the third arena entirely.
+	storeTimes := len(t.times) != 0 || start != 0 || step != 0
+	if storeTimes {
+		for len(t.times) < base {
+			t.times = append(t.times, 0)
+		}
+		t.times = slices.Grow(t.times, count)[:base+count]
+	}
 	// Attach the run's head to the pre-existing parent through the normal
 	// sibling chain; every interior block then has exactly one child — the
 	// next block of the run — so its link record is written once, fully
@@ -372,7 +435,9 @@ func (t *Tree) ExtendRun(parent BlockID, miner MinerID, count int, start, step f
 			uncleStart: ue,
 			uncleEnd:   ue,
 		}
-		t.times[id32] = at
+		if storeTimes {
+			t.times[id32] = at
+		}
 		if j < count-1 {
 			next := id32 + 1
 			t.links[id32] = links{

@@ -75,11 +75,11 @@ func DiffAblation(opts Options) (DiffAblationResult, error) {
 		if err != nil {
 			return DiffAblationResult{}, err
 		}
-		reward := series[i].Mean(func(r sim.Result) float64 { return r.Steady.TotalRate() })
+		reward := series[i].Mean(func(r *sim.Result) float64 { return r.Steady.TotalRate() })
 		out.Rows = append(out.Rows, DiffAblationRow{
 			Rule:          rule,
-			RegularRate:   series[i].Mean(func(r sim.Result) float64 { return r.Steady.RegularRate() }).Mean(),
-			UncleRate:     series[i].Mean(func(r sim.Result) float64 { return r.Steady.UncleRate() }).Mean(),
+			RegularRate:   series[i].Mean(func(r *sim.Result) float64 { return r.Steady.RegularRate() }).Mean(),
+			UncleRate:     series[i].Mean(func(r *sim.Result) float64 { return r.Steady.UncleRate() }).Mean(),
 			RewardRate:    reward.Mean(),
 			RewardRateErr: reward.StdErr(),
 			Predicted:     predicted,

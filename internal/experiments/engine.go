@@ -103,6 +103,9 @@ func resolveJobs(opts Options, jobs []simJob) (configs []sim.Config, keys []jobk
 		if opts.FastForward {
 			cfg.FastForward = true
 		}
+		if opts.NoDecisionTables {
+			cfg.NoDecisionTables = true
+		}
 		if job.specs != nil {
 			// Strategy instances are pure frame functions, so one
 			// instance per job is safely shared by every worker that
@@ -112,6 +115,11 @@ func resolveJobs(opts Options, jobs []simJob) (configs []sim.Config, keys []jobk
 				return nil, nil, nil, err
 			}
 			cfg.Strategies = strategies
+		}
+		if !cfg.NoDecisionTables {
+			// Compile each strategy's decision table once, up front, so no
+			// worker pays the one-time compile inside its timed hot loop.
+			sim.WarmDecisionTables(cfg.Strategies)
 		}
 		configs[j] = cfg
 		keys[j] = jobkey.ForConfig(cfg)
@@ -184,9 +192,8 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 			fail := func(err error) (sim.Result, error) {
 				return sim.Result{}, &JobError{Point: j, Alpha: jobs[j].alpha, Run: r, Seed: seed, Err: err}
 			}
-			addr := rowKeys[k].String()
 			if opts.Cache != nil {
-				res, ok, err := opts.Cache.Get(addr, seed)
+				res, ok, err := opts.Cache.GetRaw(rowKeys[k], seed)
 				if err != nil {
 					return fail(err)
 				}
@@ -208,7 +215,7 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 				}
 				if ok {
 					if opts.Cache != nil {
-						if err := opts.Cache.Put(addr, seed, res); err != nil {
+						if err := opts.Cache.PutRaw(rowKeys[k], seed, res); err != nil {
 							return fail(err)
 						}
 					}
@@ -229,7 +236,7 @@ func runSimGrid(opts Options, jobs []simJob) ([]sim.Series, error) {
 				}
 			}
 			if opts.Cache != nil {
-				if err := opts.Cache.Put(addr, seed, res); err != nil {
+				if err := opts.Cache.PutRaw(rowKeys[k], seed, res); err != nil {
 					return fail(err)
 				}
 			}
@@ -269,8 +276,8 @@ func cachedRun(rn *sim.Runner, cfg sim.Config, key jobkey.Key, cache *resultcach
 	if cache == nil {
 		return rn.Run(cfg)
 	}
-	addr := key.Row(cfg.Seed).String()
-	res, ok, err := cache.Get(addr, cfg.Seed)
+	addr := key.Row(cfg.Seed)
+	res, ok, err := cache.GetRaw(addr, cfg.Seed)
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -281,7 +288,7 @@ func cachedRun(rn *sim.Runner, cfg sim.Config, key jobkey.Key, cache *resultcach
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if err := cache.Put(addr, cfg.Seed, res); err != nil {
+	if err := cache.PutRaw(addr, cfg.Seed, res); err != nil {
 		return sim.Result{}, err
 	}
 	return res, nil

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/ethselfish/ethselfish/internal/core"
 	"github.com/ethselfish/ethselfish/internal/mining"
@@ -44,6 +45,44 @@ type PoolWarsResult struct {
 	Rows []PoolWarsRow
 }
 
+// poolWarsPoint is one (alpha1, alpha2, strategies) grid point of the
+// two-pool race.
+type poolWarsPoint struct {
+	alpha1, alpha2 float64
+	specs          []sim.StrategySpec
+	pop            *mining.Population
+}
+
+// poolWarsGrid builds the sweep's fixed grid — points and their aggregate
+// populations — once per process. Populations and specs are immutable and
+// shared read-only by the engine's workers, so reusing them across sweeps
+// changes nothing but the per-call setup cost (the sweep is the result
+// cache's hottest client, where setup used to dominate a fully warmed
+// pass).
+var poolWarsGrid = sync.OnceValues(func() ([]poolWarsPoint, error) {
+	algorithm1 := sim.MustStrategySpec("algorithm1")
+	honest := sim.MustStrategySpec("honest")
+	var points []poolWarsPoint
+	for _, alpha1 := range poolWarsAlphas {
+		for _, alpha2 := range poolWarsAlphas {
+			points = append(points, poolWarsPoint{alpha1: alpha1, alpha2: alpha2,
+				specs: []sim.StrategySpec{algorithm1, algorithm1}})
+		}
+	}
+	for _, alpha1 := range poolWarsAlphas {
+		points = append(points, poolWarsPoint{alpha1: alpha1, alpha2: poolWarsHeteroAlpha2,
+			specs: []sim.StrategySpec{algorithm1, honest}})
+	}
+	for i := range points {
+		pop, err := mining.MultiAgent(points[i].alpha1, points[i].alpha2)
+		if err != nil {
+			return nil, err
+		}
+		points[i].pop = pop
+	}
+	return points, nil
+})
+
 // PoolWars runs the two-pool race at gamma = 0.5, scheduling the full
 // (alpha1 x alpha2) x run grid — both Algorithm-1 pools, plus one
 // heterogeneous row per alpha1 with an honest-control second pool — on the
@@ -54,34 +93,16 @@ func PoolWars(opts Options) (PoolWarsResult, error) {
 		return PoolWarsResult{}, err
 	}
 
-	algorithm1 := sim.MustStrategySpec("algorithm1")
-	honest := sim.MustStrategySpec("honest")
-	type point struct {
-		alpha1, alpha2 float64
-		specs          []sim.StrategySpec
+	points, err := poolWarsGrid()
+	if err != nil {
+		return PoolWarsResult{}, err
 	}
-	var points []point
-	for _, alpha1 := range poolWarsAlphas {
-		for _, alpha2 := range poolWarsAlphas {
-			points = append(points, point{alpha1, alpha2,
-				[]sim.StrategySpec{algorithm1, algorithm1}})
-		}
-	}
-	for _, alpha1 := range poolWarsAlphas {
-		points = append(points, point{alpha1, poolWarsHeteroAlpha2,
-			[]sim.StrategySpec{algorithm1, honest}})
-	}
-
 	jobs := make([]simJob, len(points))
-	for i, pt := range points {
-		pop, err := mining.MultiAgent(pt.alpha1, pt.alpha2)
-		if err != nil {
-			return PoolWarsResult{}, err
-		}
+	for i := range points {
 		jobs[i] = simJob{
-			alpha: pt.alpha1,
-			pop:   pop,
-			specs: pt.specs,
+			alpha: points[i].alpha1,
+			pop:   points[i].pop,
+			specs: points[i].specs,
 			build: func(*mining.Population) sim.Config {
 				return sim.Config{Gamma: fig8Gamma}
 			},

@@ -129,7 +129,7 @@ func Profitability(opts Options, rules ...difficulty.Rule) (ProfitabilityResult,
 			EarlyErr:         early.StdErr(),
 			SteadyRate:       steady.Mean(),
 			SteadyErr:        steady.StdErr(),
-			FinalDifficulty:  series[i].Mean(func(r sim.Result) float64 { return r.FinalDifficulty }).Mean(),
+			FinalDifficulty:  series[i].Mean(func(r *sim.Result) float64 { return r.FinalDifficulty }).Mean(),
 		})
 	}
 	return out, nil

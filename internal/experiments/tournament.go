@@ -117,8 +117,8 @@ func Tournament(opts Options, specs ...sim.StrategySpec) (TournamentResult, erro
 	for pi, pair := range pairs {
 		for ai, alpha := range tournamentAlphas {
 			s := series[pi*len(tournamentAlphas)+ai]
-			shareA := s.Mean(func(r sim.Result) float64 { return r.ShareOf(1) }).Mean()
-			shareB := s.Mean(func(r sim.Result) float64 { return r.ShareOf(2) }).Mean()
+			shareA := s.Mean(func(r *sim.Result) float64 { return r.ShareOf(1) }).Mean()
+			shareB := s.Mean(func(r *sim.Result) float64 { return r.ShareOf(2) }).Mean()
 			var stale, total float64
 			for ri := range s.Runs {
 				r := &s.Runs[ri]

@@ -37,6 +37,7 @@ import (
 	"encoding/hex"
 	"hash"
 	"math"
+	"sync"
 
 	"github.com/ethselfish/ethselfish/internal/mining"
 	"github.com/ethselfish/ethselfish/internal/rewards"
@@ -55,20 +56,20 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // resolves both before keying); Seed, Parallelism, and Audit are ignored —
 // the first joins per run via Row, the others cannot change results.
 func ForConfig(cfg sim.Config) Key {
-	w := NewWriter()
+	w := getWriter()
 	w.Str("ethselfish-job-v1")
-	writeConfig(w, cfg)
-	return w.Sum()
+	writeConfig(w, &cfg)
+	return putWriter(w)
 }
 
 // Row joins the config key with one exact run seed: the content address of
 // a single (config, seed) row, the unit the result cache stores.
 func (k Key) Row(seed uint64) Key {
-	w := NewWriter()
+	w := getWriter()
 	w.Str("ethselfish-row-v1")
 	w.Bytes(k[:])
 	w.U64(seed)
-	return w.Sum()
+	return putWriter(w)
 }
 
 // SeedBase derives the stream-family base seed of one grid point from the
@@ -81,7 +82,7 @@ func (k Key) Row(seed uint64) Key {
 // replaces the old alpha*1e6 truncation, under which distinct grid points
 // closer than 1e-6 silently shared a family.
 func SeedBase(sweepSeed uint64, cfg sim.Config) uint64 {
-	w := NewWriter()
+	w := getWriter()
 	w.Str("ethselfish-seedbase-v1")
 	w.U64(sweepSeed)
 	w.F64(cfg.Gamma)
@@ -89,7 +90,7 @@ func SeedBase(sweepSeed uint64, cfg sim.Config) uint64 {
 	w.Bool(cfg.PoolOmitsUncleRefs)
 	writeSchedule(w, cfg.Schedule)
 	writePopulation(w, cfg.Population)
-	sum := w.Sum()
+	sum := putWriter(w)
 	return binary.LittleEndian.Uint64(sum[:8])
 }
 
@@ -97,7 +98,7 @@ func SeedBase(sweepSeed uint64, cfg sim.Config) uint64 {
 // The field-coverage test in this package enumerates sim.Config by
 // reflection, so adding a config field fails tests until it is either
 // encoded here or explicitly recorded as result-neutral.
-func writeConfig(w *Writer, cfg sim.Config) {
+func writeConfig(w *Writer, cfg *sim.Config) {
 	w.U64(uint64(cfg.Blocks))
 	w.F64(cfg.Gamma)
 	w.U64(uint64(cfg.MaxUnclesPerBlock))
@@ -156,7 +157,7 @@ func writePopulation(w *Writer, pop *mining.Population) {
 // equal behavior). A nil assignment hashes as the simulator's default —
 // Algorithm 1 everywhere — so a defaulted config and an explicit
 // [algorithm1] share an address.
-func writeStrategies(w *Writer, cfg sim.Config) {
+func writeStrategies(w *Writer, cfg *sim.Config) {
 	if cfg.Strategies != nil {
 		w.U64(uint64(len(cfg.Strategies)))
 		for _, s := range cfg.Strategies {
@@ -174,19 +175,54 @@ func writeStrategies(w *Writer, cfg sim.Config) {
 
 // Writer streams length-prefixed primitives into a running hash, so
 // adjacent fields can never alias each other. The checkpoint's sweep hash
-// builds on it directly.
+// builds on it directly. Primitives accumulate in a fixed chunk flushed to
+// the digest in bulk — the digest sees the same byte stream either way, so
+// buffering can never change an address — which keeps the per-field cost to
+// a couple of stores instead of an interface call.
 type Writer struct {
-	h   hash.Hash
-	buf [8]byte
+	h     hash.Hash
+	n     int
+	chunk [192]byte
+	sum   [sha256.Size]byte
 }
 
 // NewWriter returns a Writer over a fresh sha256.
 func NewWriter() *Writer { return &Writer{h: sha256.New()} }
 
+// writerPool recycles Writers (and their sha256 states) across the
+// package's own key derivations, which run once per row on the result
+// cache's hot path.
+var writerPool = sync.Pool{New: func() any { return NewWriter() }}
+
+func getWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.h.Reset()
+	w.n = 0
+	return w
+}
+
+// putWriter finalizes the key and returns the Writer to the pool.
+func putWriter(w *Writer) Key {
+	k := w.Sum()
+	writerPool.Put(w)
+	return k
+}
+
+// flush drains the chunk into the digest.
+func (w *Writer) flush() {
+	if w.n > 0 {
+		w.h.Write(w.chunk[:w.n])
+		w.n = 0
+	}
+}
+
 // U64 writes one little-endian uint64.
 func (w *Writer) U64(v uint64) {
-	binary.LittleEndian.PutUint64(w.buf[:], v)
-	w.h.Write(w.buf[:])
+	if w.n+8 > len(w.chunk) {
+		w.flush()
+	}
+	binary.LittleEndian.PutUint64(w.chunk[w.n:], v)
+	w.n += 8
 }
 
 // F64 writes a float64 by exact bit pattern.
@@ -204,18 +240,32 @@ func (w *Writer) Bool(v bool) {
 // Str writes a length-prefixed string.
 func (w *Writer) Str(s string) {
 	w.U64(uint64(len(s)))
-	w.h.Write([]byte(s))
+	for len(s) > 0 {
+		if w.n == len(w.chunk) {
+			w.flush()
+		}
+		c := copy(w.chunk[w.n:], s)
+		w.n += c
+		s = s[c:]
+	}
 }
 
 // Bytes writes a length-prefixed byte slice.
 func (w *Writer) Bytes(b []byte) {
 	w.U64(uint64(len(b)))
-	w.h.Write(b)
+	for len(b) > 0 {
+		if w.n == len(w.chunk) {
+			w.flush()
+		}
+		c := copy(w.chunk[w.n:], b)
+		w.n += c
+		b = b[c:]
+	}
 }
 
 // Sum returns the accumulated digest as a Key.
 func (w *Writer) Sum() Key {
-	var k Key
-	w.h.Sum(k[:0])
-	return k
+	w.flush()
+	w.h.Sum(w.sum[:0])
+	return Key(w.sum)
 }

@@ -14,6 +14,8 @@ package mining
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/ethselfish/ethselfish/internal/chain"
 	"github.com/ethselfish/ethselfish/internal/rng"
@@ -71,21 +73,18 @@ type Miner struct {
 // Selfish reports whether the miner belongs to any colluding pool.
 func (m Miner) Selfish() bool { return m.Pool != HonestPool }
 
-// Population is a fixed set of miners with normalized hash powers. All
-// per-draw and per-query structures (the population alias table, the dense
-// pool index, per-pool power sums, per-pool member lists and alias tables)
-// are precomputed at construction, so sampling, pool lookups, and
-// pool-conditional sampling all cost O(1) regardless of population size. A
-// Population is immutable and safe for concurrent use (each Source must
-// still be goroutine-local).
+// Population is a fixed set of miners with normalized hash powers. The
+// query structures (the dense pool index, per-pool power sums, per-pool
+// member lists) are precomputed at construction; the sampling structures
+// (the Walker alias tables) are built once on first draw, so sweeps whose
+// every job is served from the result cache never pay for them. Sampling,
+// pool lookups, and pool-conditional sampling all cost O(1) regardless of
+// population size. A Population is logically immutable and safe for
+// concurrent use (each Source must still be goroutine-local).
 type Population struct {
 	miners  []Miner
 	weights []float64
 	alpha   float64
-
-	// alias is the Walker alias table over weights: one Uint64 plus one
-	// Float64 per draw, independent of the number of miners.
-	alias *rng.AliasTable
 
 	// poolByID indexes the pool label by MinerID (dense; unknown IDs are
 	// honest), replacing the per-run membership map the simulator used to
@@ -101,16 +100,67 @@ type Population struct {
 	// tables.
 	poolMembers [][]int32
 
-	// poolAlias[p] is the alias table over pool p's member weights (nil
-	// for empty pools), giving O(1) pool-conditional draws.
-	poolAlias []*rng.AliasTable
-
 	// selfishMembers lists the miner indices of every pool >= 1 in input
-	// order, and selfishAlias is the alias table over their weights (nil
-	// when alpha is zero). Together they give the O(1) draw conditioned on
-	// "the event was not honest" that fast-forward mode resumes with.
+	// order; the alias table over their weights lives in samplers.
 	selfishMembers []int32
-	selfishAlias   *rng.AliasTable
+
+	// smp holds the lazily built sampling structures: a fully built set is
+	// published once with an atomic store, so concurrent first draws are
+	// safe, and every later draw is one atomic load (a plain load on
+	// mainstream architectures). Deferring the build keeps fully cached
+	// sweeps — which construct populations only to address results — from
+	// building alias tables they never draw from.
+	smp     atomic.Pointer[samplers]
+	smpOnce sync.Once
+}
+
+// samplers bundles the population's alias tables, built together on first
+// use: the population-wide table, the per-pool tables (nil for empty
+// pools), and the table conditioned on "the producer is selfish" (nil when
+// alpha is zero). Each draw costs one Uint64 plus one Float64, independent
+// of the number of miners.
+type samplers struct {
+	alias        *rng.AliasTable
+	poolAlias    []*rng.AliasTable
+	selfishAlias *rng.AliasTable
+}
+
+// samplers returns the population's sampling structures, building them on
+// first use. The built path is a single atomic load, small enough to inline
+// into every draw.
+func (p *Population) samplers() *samplers {
+	if s := p.smp.Load(); s != nil {
+		return s
+	}
+	return p.buildSamplers()
+}
+
+// buildSamplers is the cold first-draw path behind samplers.
+func (p *Population) buildSamplers() *samplers {
+	p.smpOnce.Do(func() {
+		s := &samplers{alias: rng.NewAliasTable(p.weights)}
+		s.poolAlias = make([]*rng.AliasTable, len(p.poolMembers))
+		memberWeights := make([]float64, 0, len(p.miners))
+		for pool, members := range p.poolMembers {
+			if len(members) == 0 {
+				continue
+			}
+			memberWeights = memberWeights[:0]
+			for _, i := range members {
+				memberWeights = append(memberWeights, p.weights[i])
+			}
+			s.poolAlias[pool] = rng.NewAliasTable(memberWeights)
+		}
+		if len(p.selfishMembers) > 0 {
+			memberWeights = memberWeights[:0]
+			for _, i := range p.selfishMembers {
+				memberWeights = append(memberWeights, p.weights[i])
+			}
+			s.selfishAlias = rng.NewAliasTable(memberWeights)
+		}
+		p.smp.Store(s)
+	})
+	return p.smp.Load()
 }
 
 // NewPopulation validates and normalizes the miner set. Miner IDs must be
@@ -124,7 +174,6 @@ func NewPopulation(miners []Miner) (*Population, error) {
 	var total float64
 	maxID := chain.MinerID(0)
 	maxPool := HonestPool
-	seen := make(map[chain.MinerID]bool, len(miners))
 	for _, m := range miners {
 		if !(m.Power > 0) || m.Power > 1e18 {
 			return nil, fmt.Errorf("miner %d power %v: %w", m.ID, m.Power, ErrBadPower)
@@ -136,10 +185,6 @@ func NewPopulation(miners []Miner) (*Population, error) {
 			return nil, fmt.Errorf("miner %d pool %d (population of %d): %w",
 				m.ID, m.Pool, len(miners), ErrBadPool)
 		}
-		if seen[m.ID] {
-			return nil, fmt.Errorf("mining: duplicate miner ID %d", m.ID)
-		}
-		seen[m.ID] = true
 		if m.ID > maxID {
 			maxID = m.ID
 		}
@@ -148,13 +193,54 @@ func NewPopulation(miners []Miner) (*Population, error) {
 		}
 		total += m.Power
 	}
+	// Duplicate detection over a dense bitmap: IDs were already bounds-
+	// checked above, and the small-population case (every aggregate-agent
+	// sweep) stays on the stack.
+	var seenArr [128]bool
+	seen := seenArr[:]
+	if int(maxID) >= len(seenArr) {
+		seen = make([]bool, maxID+1)
+	}
+	for _, m := range miners {
+		if seen[m.ID] {
+			return nil, fmt.Errorf("mining: duplicate miner ID %d", m.ID)
+		}
+		seen[m.ID] = true
+	}
+	// One float64 block backs weights and poolPower, and one int32 block
+	// backs every pool's member list plus the selfish roster: populations
+	// are built per grid point on sweep hot paths, so the constructor
+	// allocates a handful of blocks instead of a slice per pool. Each
+	// segment's capacity is clamped, so the appends below can never bleed
+	// into a neighbor.
 	p := &Population{
 		miners:      append([]Miner(nil), miners...),
-		weights:     make([]float64, len(miners)),
 		poolByID:    make([]PoolID, maxID+1),
-		poolPower:   make([]float64, maxPool+1),
 		poolMembers: make([][]int32, maxPool+1),
 	}
+	fblock := make([]float64, len(miners)+int(maxPool)+1)
+	p.weights = fblock[:len(miners):len(miners)]
+	p.poolPower = fblock[len(miners):]
+	var countsArr [16]int32
+	counts := countsArr[:]
+	if int(maxPool) >= len(countsArr) {
+		counts = make([]int32, maxPool+1)
+	}
+	selfish := 0
+	for _, m := range miners {
+		counts[m.Pool]++
+		if m.Pool != HonestPool {
+			selfish++
+		}
+	}
+	iblock := make([]int32, 0, len(miners)+selfish)
+	off := 0
+	for pool := range p.poolMembers {
+		c := int(counts[pool])
+		p.poolMembers[pool] = iblock[off:off : off+c]
+		off += c
+	}
+	p.selfishMembers = iblock[off:off : off+selfish]
 	for i, m := range miners {
 		p.weights[i] = m.Power / total
 		if m.Pool != HonestPool {
@@ -164,28 +250,10 @@ func NewPopulation(miners []Miner) (*Population, error) {
 		p.poolPower[m.Pool] += p.weights[i]
 		p.poolMembers[m.Pool] = append(p.poolMembers[m.Pool], int32(i))
 	}
-	p.alias = rng.NewAliasTable(p.weights)
-	p.poolAlias = make([]*rng.AliasTable, maxPool+1)
-	memberWeights := make([]float64, 0, len(miners))
-	for pool, members := range p.poolMembers {
-		if len(members) == 0 {
-			continue
-		}
-		memberWeights = memberWeights[:0]
-		for _, i := range members {
-			memberWeights = append(memberWeights, p.weights[i])
-		}
-		p.poolAlias[pool] = rng.NewAliasTable(memberWeights)
-	}
-	memberWeights = memberWeights[:0]
 	for i, m := range miners {
 		if m.Pool != HonestPool {
 			p.selfishMembers = append(p.selfishMembers, int32(i))
-			memberWeights = append(memberWeights, p.weights[i])
 		}
-	}
-	if len(p.selfishMembers) > 0 {
-		p.selfishAlias = rng.NewAliasTable(memberWeights)
 	}
 	return p, nil
 }
@@ -347,10 +415,10 @@ func (p *Population) IsSelfish(id chain.MinerID) bool {
 }
 
 // Sample draws the producer of the next block, weighted by hash power. The
-// draw uses the precomputed alias table: O(1) per event independent of the
-// population size, consuming exactly two generator outputs.
+// draw uses the alias table: O(1) per event independent of the population
+// size, consuming exactly two generator outputs.
 func (p *Population) Sample(r *rng.Source) Miner {
-	return p.miners[p.alias.Draw(r)]
+	return p.miners[p.samplers().alias.Draw(r)]
 }
 
 // SampleMember draws a member of the given pool, weighted by hash power
@@ -359,10 +427,11 @@ func (p *Population) Sample(r *rng.Source) Miner {
 // exactly two generator outputs and panics if the pool has no members,
 // which indicates a configuration error.
 func (p *Population) SampleMember(pool PoolID, r *rng.Source) Miner {
-	if pool < 0 || int(pool) >= len(p.poolAlias) || p.poolAlias[pool] == nil {
+	s := p.samplers()
+	if pool < 0 || int(pool) >= len(s.poolAlias) || s.poolAlias[pool] == nil {
 		panic(fmt.Sprintf("mining: SampleMember of empty pool %d", pool))
 	}
-	return p.miners[p.poolMembers[pool][p.poolAlias[pool].Draw(r)]]
+	return p.miners[p.poolMembers[pool][s.poolAlias[pool].Draw(r)]]
 }
 
 // SampleSelfish draws the producer of the next block conditioned on the
@@ -372,10 +441,11 @@ func (p *Population) SampleMember(pool PoolID, r *rng.Source) Miner {
 // consumes exactly two generator outputs and panics if the population has no
 // selfish power, which indicates a configuration error.
 func (p *Population) SampleSelfish(r *rng.Source) Miner {
-	if p.selfishAlias == nil {
+	s := p.samplers()
+	if s.selfishAlias == nil {
 		panic("mining: SampleSelfish on a population with no selfish miners")
 	}
-	return p.miners[p.selfishMembers[p.selfishAlias.Draw(r)]]
+	return p.miners[p.selfishMembers[s.selfishAlias.Draw(r)]]
 }
 
 // SoleMember returns the pool's only member if the pool has exactly one, in

@@ -30,6 +30,7 @@ package resultcache
 import (
 	"bytes"
 	"container/list"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,6 +52,10 @@ const journalVersion = 1
 
 // journalName is the journal's filename inside the cache directory.
 const journalName = "results.jsonl"
+
+// AddrSize is the length of a raw row address in bytes (a sha256 digest;
+// string-keyed entry points take its 2*AddrSize-char hex form).
+const AddrSize = 32
 
 // DefaultMemoryEntries bounds the memory tier when the caller passes a
 // non-positive capacity. At roughly 2-6 KB per decoded row this keeps the
@@ -211,6 +216,51 @@ func (c *Cache) Get(key string, seed uint64) (sim.Result, bool, error) {
 		c.stats.MemoryHits++
 		return e.result, true, nil
 	}
+	return c.getDiskLocked(key, seed)
+}
+
+// GetRaw is Get for a raw content address: the hex encoding lives on the
+// stack and the memory probe converts it in place, so a memory hit — the
+// steady state of a warmed sweep — allocates nothing. The two entry points
+// address identical rows: GetRaw(k) ≡ Get(hex(k)).
+func (c *Cache) GetRaw(key [AddrSize]byte, seed uint64) (sim.Result, bool, error) {
+	var buf [2 * AddrSize]byte
+	hex.Encode(buf[:], key[:])
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.mem[string(buf[:])]; ok {
+		e := el.Value.(*entry)
+		if e.seed != seed {
+			return sim.Result{}, false, fmt.Errorf(
+				"%w: row %.12s cached under seed %d, derived %d", ErrCache, e.key, e.seed, seed)
+		}
+		c.lru.MoveToFront(el)
+		c.stats.MemoryHits++
+		return e.result, true, nil
+	}
+	return c.getDiskLocked(string(buf[:]), seed)
+}
+
+// PutRaw is Put for a raw content address (see GetRaw).
+func (c *Cache) PutRaw(key [AddrSize]byte, seed uint64, result sim.Result) error {
+	var buf [2 * AddrSize]byte
+	hex.Encode(buf[:], key[:])
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Alloc-free duplicate probes first: by content addressing a present
+	// row is already the offered one, so the hot no-op path stays cheap.
+	if _, ok := c.mem[string(buf[:])]; ok {
+		return nil
+	}
+	if _, ok := c.index[string(buf[:])]; ok {
+		return nil
+	}
+	return c.putLocked(string(buf[:]), seed, result)
+}
+
+// getDiskLocked serves a Get that missed the memory tier. Must be called
+// with the lock held.
+func (c *Cache) getDiskLocked(key string, seed uint64) (sim.Result, bool, error) {
 	pos, ok := c.index[key]
 	if !ok {
 		c.stats.Misses++
@@ -247,6 +297,12 @@ func (c *Cache) Put(key string, seed uint64, result sim.Result) error {
 	if _, ok := c.index[key]; ok {
 		return nil
 	}
+	return c.putLocked(key, seed, result)
+}
+
+// putLocked journals and inserts a row known to be absent from both tiers.
+// Must be called with the lock held.
+func (c *Cache) putLocked(key string, seed uint64, result sim.Result) error {
 	if c.file != nil {
 		line, err := json.Marshal(journalRow{Key: key, Seed: seed, Result: result})
 		if err != nil {

@@ -21,15 +21,40 @@ const (
 	float64Unit = 1.0 / (1 << 53)
 )
 
+// bufSize is the number of outputs generated per block refill. Each refill
+// keeps the xoshiro state in registers for the whole block, so the
+// per-output cost of the non-inlinable generator body is paid once per
+// bufSize draws instead of once per draw. 128 outputs (1 KB) amortizes
+// the call overhead to noise while keeping a Reseed's discarded remainder
+// cheap relative to the runs (100k+ events) batch runners reseed between.
+const bufSize = 128
+
 // Source is a deterministic xoshiro256** generator. It is not safe for
 // concurrent use; create one Source per goroutine (see Split).
+//
+// Outputs are produced in blocks: the generator refills buf with the next
+// bufSize values of the sequence at once and Uint64 pops them in order, so
+// every consumer — uniform, exponential, alias-table — sees exactly the
+// same stream, in exactly the same order, as the unbuffered generator
+// produced. Buffering is invisible to everything but the clock.
 type Source struct {
 	s [4]uint64
 
 	// anti is XORed into every Uint64 output. It is zero for a normal
 	// stream and ^0 for an antithetic stream (see SetAntithetic); keeping
-	// it a mask makes the antithetic transform free on the hot path.
+	// it a mask makes the antithetic transform free on the hot path. It is
+	// applied at refill time (and SetAntithetic re-mirrors any unpopped
+	// buffered outputs), so the pop path is a bare load.
 	anti uint64
+
+	// buf holds already-masked outputs of the sequence in reverse: the
+	// next output to pop is buf[pos-1], the last buf[0]. pos == 0 means
+	// empty — which is also the zero value and what Reseed leaves behind,
+	// so the first pop after either refills from the fresh state. The
+	// countdown form keeps the pop path (and Float64 on top of it) within
+	// the compiler's inlining budget.
+	buf [bufSize]uint64
+	pos int
 }
 
 // New returns a Source seeded from seed via splitmix64, as recommended by the
@@ -55,10 +80,18 @@ func (r *Source) Split() *Source {
 // variance-reduction estimator. The flag survives Reseed so a paired worker
 // can be configured once and reseeded per run like any other Source.
 func (r *Source) SetAntithetic(on bool) {
+	var want uint64
 	if on {
-		r.anti = ^uint64(0)
-	} else {
-		r.anti = 0
+		want = ^uint64(0)
+	}
+	// Buffered outputs were masked with the old flag at refill time;
+	// re-mirror the unpopped ones so a mid-stream toggle affects exactly
+	// the outputs it would have affected on the unbuffered generator.
+	if delta := want ^ r.anti; delta != 0 {
+		for i := 0; i < r.pos; i++ {
+			r.buf[i] ^= delta
+		}
+		r.anti = want
 	}
 }
 
@@ -68,6 +101,7 @@ func (r *Source) Antithetic() bool { return r.anti != 0 }
 // Reseed resets the generator in place to the state New(seed) produces,
 // without allocating. Batch runners use it to reuse one Source per worker
 // across many independently seeded runs. The antithetic flag is preserved.
+// Any buffered outputs of the previous seed's sequence are discarded.
 func (r *Source) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
@@ -79,27 +113,51 @@ func (r *Source) Reseed(seed uint64) {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = goldenGamma
 	}
+	r.pos = 0
 }
 
-// Uint64 returns the next value of the xoshiro256** sequence.
+// Uint64 returns the next value of the xoshiro256** sequence. It inlines
+// into callers — a buffered pop on the fast path — and the block refill
+// underneath is the only call into the generator body every bufSize draws.
 func (r *Source) Uint64() uint64 {
-	s := &r.s
-	result := rotl(s[1]*5, 7) * 9
-
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = rotl(s[3], 45)
-
-	return result ^ r.anti
+	if r.pos == 0 {
+		r.refill()
+	}
+	r.pos--
+	return r.buf[r.pos]
 }
 
-// Float64 returns a uniform value in [0, 1) with 53 random bits.
+// refill writes the next bufSize values of the sequence into buf, highest
+// index first so countdown pops return them in sequence order. The state
+// words live in locals for the whole block, which is where the batching
+// wins: one load/store of the state per block instead of per draw.
+func (r *Source) refill() {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	anti := r.anti
+	for i := bufSize - 1; i >= 0; i-- {
+		r.buf[i] = rotl(s1*5, 7)*9 ^ anti
+
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	r.pos = bufSize
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits. It is
+// Uint64's pop with the [0, 1) conversion fused in — written out rather
+// than composed so that Float64, like Uint64, inlines into callers.
 func (r *Source) Float64() float64 {
-	return float64(r.Uint64()>>11) * float64Unit
+	if r.pos == 0 {
+		r.refill()
+	}
+	r.pos--
+	return float64(r.buf[r.pos]>>11) * float64Unit
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0; this mirrors

@@ -118,7 +118,29 @@ func (a *auditor) check(s *simulator) error {
 	if err := a.checkForkChildren(s); err != nil {
 		return err
 	}
+	if err := a.checkFastForward(s); err != nil {
+		return err
+	}
 	return a.checkConservation(s)
+}
+
+// checkFastForward re-proves the fast-forward engagement condition while
+// the mode is live: every pool must still plainly adopt at the (0, 1, 0)
+// frame, or the bulk stretches the engine skipped were not memoryless. For
+// tabled pools the re-probe reads the compiled table property, so a table
+// that drifted from its strategy (an impossible-by-construction state this
+// audit exists to catch) fails here rather than corrupting results
+// silently.
+func (a *auditor) checkFastForward(s *simulator) error {
+	if !s.ffwd {
+		return nil
+	}
+	for i := range s.pools {
+		if !s.pools[i].adoptsAtOrigin() {
+			return a.violation("fast-forward engaged but pool %d does not plainly adopt at (0,1,0)", i+1)
+		}
+	}
+	return nil
 }
 
 // violation formats one audit failure with its event coordinate.
@@ -174,7 +196,7 @@ func (a *auditor) checkForkChildren(s *simulator) error {
 	floor := s.floor
 	floorHeight := t.HeightOf(floor)
 	expected := a.scratch[:0]
-	for _, wb := range s.recent {
+	for _, wb := range s.recent[s.recentHead:] {
 		parent := t.ParentOf(wb.id)
 		if t.NextSiblingOf(t.FirstChildOf(parent)) == chain.NoBlock {
 			continue // only child: can never be an uncle

@@ -55,13 +55,12 @@ func (s *simulator) initFastForward(cfg Config) {
 	// moves the root right back). A publish, a commit, a hold, or an
 	// invalid reaction would make stretches non-memoryless, so the probe
 	// failing keeps the plain loop, where that behavior (or its error)
-	// plays out event by event.
+	// plays out event by event. For tabled strategies the probe is a
+	// compile-time table property (the (0, 1, 0) entry is a plain adopt
+	// exactly when it validated as one); only untabled pools are probed
+	// live.
 	for i := range s.pools {
-		r := s.pools[i].strat.ReactToHonest(0, 1, 0)
-		if !r.Adopt || r.Commit || r.PublishTo != 0 {
-			return
-		}
-		if validateReaction(r, 0, 1, 0) != nil {
+		if !s.pools[i].adoptsAtOrigin() {
 			return
 		}
 	}
@@ -69,6 +68,20 @@ func (s *simulator) initFastForward(cfg Config) {
 		s.ffwdLogQ = -math.Log1p(-alpha)
 	}
 	s.ffwd = true
+}
+
+// adoptsAtOrigin reports the fast-forward engagement condition for one
+// pool: a plain, valid adopt at the (0, 1, 0) frame. Tabled pools answer
+// from the compiled table property; untabled ones are probed live. At that
+// frame ls = 0 forces any valid PublishTo to zero, so the table's adopt
+// entry is necessarily the plain adopt the live probe insists on.
+func (p *poolState) adoptsAtOrigin() bool {
+	if p.table != nil {
+		return p.table.AdoptsAtOrigin()
+	}
+	r := p.strat.ReactToHonest(0, 1, 0)
+	return r.Adopt && !r.Commit && r.PublishTo == 0 &&
+		validateReaction(r, 0, 1, 0) == nil
 }
 
 // atRaceOrigin reports whether the next event may be fast-forwarded: every
@@ -200,19 +213,7 @@ func (s *simulator) fastForward(remaining int) (int, error) {
 	// per-event trim would — then enter the stretch's tail.
 	finalHeight := s.pubHeight + k
 	minHeight := finalHeight - s.window - 1
-	trim := 0
-	for trim < len(s.recent) && s.recent[trim].height < minHeight {
-		old := s.recent[trim].id
-		s.inRecent[old] = false
-		if len(s.forkChildren) > 0 {
-			s.removeForkChild(old)
-		}
-		trim++
-	}
-	if trim > 0 {
-		n := copy(s.recent, s.recent[trim:])
-		s.recent = s.recent[:n]
-	}
+	s.trimRecent(minHeight)
 	firstID := tip - chain.BlockID(bulk) + 1
 	for j := 0; j < bulk; j++ {
 		id := firstID + chain.BlockID(j)

@@ -37,6 +37,12 @@ func FuzzValidateReaction(f *testing.F) {
 			t.Fatalf("validateReaction(%+v, ls=%d, lh=%d, published=%d) err=%v, legality=%v",
 				r, ls, lh, published, err, legal)
 		}
+		// The allocation-free twin used by decision-table compilation must
+		// agree with the error-reporting gate exactly.
+		if got := reactionAllowed(r, ls, lh, published); got != (err == nil) {
+			t.Fatalf("reactionAllowed(%+v, ls=%d, lh=%d, published=%d) = %v, validateReaction err=%v",
+				r, ls, lh, published, got, err)
+		}
 		if err != nil && !errors.Is(err, ErrBadReaction) {
 			t.Fatalf("error %v does not wrap ErrBadReaction", err)
 		}

@@ -123,14 +123,14 @@ func (r *Result) RestoreAliases() {
 
 // MinerReward returns one miner's settled tally (zero if it earned
 // nothing).
-func (r Result) MinerReward(id chain.MinerID) chain.Reward {
+func (r *Result) MinerReward(id chain.MinerID) chain.Reward {
 	return chain.MinerRewardAt(r.MinerRewards, id)
 }
 
 // PerMiner returns the map view of the per-miner tallies: every miner that
 // appeared in the settlement, keyed by ID. It is built on demand;
 // iteration-heavy callers should use the dense MinerRewards directly.
-func (r Result) PerMiner() map[chain.MinerID]chain.Reward {
+func (r *Result) PerMiner() map[chain.MinerID]chain.Reward {
 	return chain.PerMinerView(r.MinerRewards, r.MinerSeen)
 }
 
@@ -139,7 +139,7 @@ func (r Result) PerMiner() map[chain.MinerID]chain.Reward {
 // producer is an independent hash-power draw), which makes it the natural
 // control variate for any per-run metric: the regression residual removes
 // the sampling noise that the event draw sequence and the metric share.
-func (r Result) SelfishEventShare() float64 {
+func (r *Result) SelfishEventShare() float64 {
 	if r.Blocks == 0 || len(r.EventsByPool) == 0 {
 		return 0
 	}
@@ -152,7 +152,7 @@ func (r Result) SelfishEventShare() float64 {
 
 // normalizer returns the scenario's block count (regular, or regular plus
 // referenced uncles).
-func (r Result) normalizer(s core.Scenario) float64 {
+func (r *Result) normalizer(s core.Scenario) float64 {
 	n := float64(r.RegularCount)
 	if s == core.Scenario2 {
 		n += float64(r.UncleCount)
@@ -163,7 +163,7 @@ func (r Result) normalizer(s core.Scenario) float64 {
 // PoolAbsolute returns the pool's absolute revenue per rescaled time unit,
 // the quantity plotted in Fig. 8 (scenario 1 divides by regular blocks,
 // scenario 2 by regular plus uncle blocks).
-func (r Result) PoolAbsolute(s core.Scenario) float64 {
+func (r *Result) PoolAbsolute(s core.Scenario) float64 {
 	n := r.normalizer(s)
 	if n == 0 {
 		return 0
@@ -173,7 +173,7 @@ func (r Result) PoolAbsolute(s core.Scenario) float64 {
 
 // HonestAbsolute returns the honest miners' absolute revenue per rescaled
 // time unit.
-func (r Result) HonestAbsolute(s core.Scenario) float64 {
+func (r *Result) HonestAbsolute(s core.Scenario) float64 {
 	n := r.normalizer(s)
 	if n == 0 {
 		return 0
@@ -183,12 +183,12 @@ func (r Result) HonestAbsolute(s core.Scenario) float64 {
 
 // TotalAbsolute returns the system-wide absolute revenue per rescaled time
 // unit (the "Total" series of Fig. 9).
-func (r Result) TotalAbsolute(s core.Scenario) float64 {
+func (r *Result) TotalAbsolute(s core.Scenario) float64 {
 	return r.PoolAbsolute(s) + r.HonestAbsolute(s)
 }
 
 // PoolShare returns the pools' combined relative share of all rewards.
-func (r Result) PoolShare() float64 {
+func (r *Result) PoolShare() float64 {
 	total := r.Pool.Total() + r.Honest.Total()
 	if total == 0 {
 		return 0
@@ -198,7 +198,7 @@ func (r Result) PoolShare() float64 {
 
 // RewardOf returns one pool's settled reward tally (pool 0: the honest
 // crowd; labels beyond the population earned nothing).
-func (r Result) RewardOf(pool mining.PoolID) chain.Reward {
+func (r *Result) RewardOf(pool mining.PoolID) chain.Reward {
 	if pool < 0 || int(pool) >= len(r.ByPool) {
 		return chain.Reward{}
 	}
@@ -207,7 +207,7 @@ func (r Result) RewardOf(pool mining.PoolID) chain.Reward {
 
 // AbsoluteOf returns one pool's absolute revenue per rescaled time unit
 // under the given scenario — the per-pool counterpart of PoolAbsolute.
-func (r Result) AbsoluteOf(pool mining.PoolID, s core.Scenario) float64 {
+func (r *Result) AbsoluteOf(pool mining.PoolID, s core.Scenario) float64 {
 	n := r.normalizer(s)
 	if n == 0 {
 		return 0
@@ -216,7 +216,7 @@ func (r Result) AbsoluteOf(pool mining.PoolID, s core.Scenario) float64 {
 }
 
 // ShareOf returns one pool's relative share of all rewards.
-func (r Result) ShareOf(pool mining.PoolID) float64 {
+func (r *Result) ShareOf(pool mining.PoolID) float64 {
 	total := r.Pool.Total() + r.Honest.Total()
 	if total == 0 {
 		return 0
@@ -227,20 +227,20 @@ func (r Result) ShareOf(pool mining.PoolID) float64 {
 // RateOf returns one pool's time-averaged absolute reward rate (reward per
 // unit time) over the whole settled chain: the time-domain counterpart of
 // AbsoluteOf, and zero in timeless runs. Pool 0 is the honest crowd.
-func (r Result) RateOf(pool mining.PoolID) float64 {
+func (r *Result) RateOf(pool mining.PoolID) float64 {
 	return safeRate(r.RewardOf(pool).Total(), r.SettledTime)
 }
 
 // TotalRate returns the system-wide absolute reward rate over the settled
 // chain (zero in timeless runs) — the issuance rate a difficulty rule is
 // supposed to keep bounded.
-func (r Result) TotalRate() float64 {
+func (r *Result) TotalRate() float64 {
 	return safeRate(r.Pool.Total()+r.Honest.Total(), r.SettledTime)
 }
 
 // StateProbability estimates the stationary probability of state s from the
 // occupancy counts.
-func (r Result) StateProbability(s core.State) float64 {
+func (r *Result) StateProbability(s core.State) float64 {
 	if r.Blocks == 0 {
 		return 0
 	}
@@ -283,6 +283,7 @@ func (rn *Runner) Run(cfg Config) (Result, error) {
 func (rn *Runner) Reset() {
 	s := &rn.s
 	s.recent = s.recent[:0]
+	s.recentHead = 0
 	s.forkChildren = s.forkChildren[:0]
 	s.referencedInWindow = 0
 	for i := range s.pools {
@@ -449,11 +450,13 @@ func RunManyCtx(ctx context.Context, cfg Config, runs int) (Series, []bool, erro
 	return Series{Runs: results}, done, err
 }
 
-// Mean aggregates a metric over the runs and returns its accumulator.
-func (s Series) Mean(metric func(Result) float64) stats.Accumulator {
+// Mean aggregates a metric over the runs and returns its accumulator. The
+// metric receives each run in place — Results carry dense tallies and
+// occupancy maps, so aggregation never copies them.
+func (s Series) Mean(metric func(*Result) float64) stats.Accumulator {
 	var acc stats.Accumulator
-	for _, r := range s.Runs {
-		acc.Add(metric(r))
+	for i := range s.Runs {
+		acc.Add(metric(&s.Runs[i]))
 	}
 	return acc
 }
@@ -461,46 +464,46 @@ func (s Series) Mean(metric func(Result) float64) stats.Accumulator {
 // PoolAbsolute returns mean and std-error statistics of the pool's absolute
 // revenue across runs.
 func (s Series) PoolAbsolute(scenario core.Scenario) stats.Accumulator {
-	return s.Mean(func(r Result) float64 { return r.PoolAbsolute(scenario) })
+	return s.Mean(func(r *Result) float64 { return r.PoolAbsolute(scenario) })
 }
 
 // HonestAbsolute returns statistics of the honest absolute revenue.
 func (s Series) HonestAbsolute(scenario core.Scenario) stats.Accumulator {
-	return s.Mean(func(r Result) float64 { return r.HonestAbsolute(scenario) })
+	return s.Mean(func(r *Result) float64 { return r.HonestAbsolute(scenario) })
 }
 
 // TotalAbsolute returns statistics of the total absolute revenue.
 func (s Series) TotalAbsolute(scenario core.Scenario) stats.Accumulator {
-	return s.Mean(func(r Result) float64 { return r.TotalAbsolute(scenario) })
+	return s.Mean(func(r *Result) float64 { return r.TotalAbsolute(scenario) })
 }
 
 // AbsoluteOf returns statistics of one pool's absolute revenue across runs
 // (pool 0: the honest crowd).
 func (s Series) AbsoluteOf(pool mining.PoolID, scenario core.Scenario) stats.Accumulator {
-	return s.Mean(func(r Result) float64 { return r.AbsoluteOf(pool, scenario) })
+	return s.Mean(func(r *Result) float64 { return r.AbsoluteOf(pool, scenario) })
 }
 
 // RateOf returns statistics of one pool's time-averaged absolute reward
 // rate across runs (pool 0: the honest crowd). Only meaningful for timed
 // configurations.
 func (s Series) RateOf(pool mining.PoolID) stats.Accumulator {
-	return s.Mean(func(r Result) float64 { return r.RateOf(pool) })
+	return s.Mean(func(r *Result) float64 { return r.RateOf(pool) })
 }
 
 // TotalRate returns statistics of the system-wide absolute reward rate.
 func (s Series) TotalRate() stats.Accumulator {
-	return s.Mean(func(r Result) float64 { return r.TotalRate() })
+	return s.Mean(func(r *Result) float64 { return r.TotalRate() })
 }
 
 // EarlyRateOf and SteadyRateOf return statistics of one pool's absolute
 // reward rate inside the before- and after-adjustment windows.
 func (s Series) EarlyRateOf(pool mining.PoolID) stats.Accumulator {
-	return s.Mean(func(r Result) float64 { return r.Early.RateOf(pool) })
+	return s.Mean(func(r *Result) float64 { return r.Early.RateOf(pool) })
 }
 
 // SteadyRateOf returns statistics of one pool's steady-window reward rate.
 func (s Series) SteadyRateOf(pool mining.PoolID) stats.Accumulator {
-	return s.Mean(func(r Result) float64 { return r.Steady.RateOf(pool) })
+	return s.Mean(func(r *Result) float64 { return r.Steady.RateOf(pool) })
 }
 
 // HonestUncleDistribution merges the honest uncle-distance counters of all

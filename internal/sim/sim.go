@@ -102,6 +102,14 @@ type Config struct {
 	// attack.
 	PoolOmitsUncleRefs bool
 
+	// NoDecisionTables keeps every pool on the live Strategy interface
+	// path instead of the compiled decision tables eligible strategies
+	// normally run on (see DecisionTable). Tables never change results —
+	// they are validated snapshots of the same reactions — so this is a
+	// diagnostic knob: equivalence tests flip it to compare the paths,
+	// and -notables exposes it on the CLI.
+	NoDecisionTables bool
+
 	// Time configures the continuous-time axis: exponential inter-arrival
 	// times paced by difficulty, per-block timestamps, and an optional
 	// engine-driven difficulty controller. The zero value keeps the
@@ -224,6 +232,12 @@ func (c Config) strategyFor(p int) Strategy {
 type poolState struct {
 	strat Strategy
 
+	// table is strat compiled into dense reaction grids (nil when the
+	// strategy is ineligible or tables are disabled): the per-event
+	// decision is then a table load with no interface dispatch and no
+	// per-event validation (see DecisionTable).
+	table *DecisionTable
+
 	// root is the block the pool's branch builds on; rootHeight is its
 	// height, denormalized so frame computations never touch the tree.
 	root       chain.BlockID
@@ -292,9 +306,14 @@ type simulator struct {
 	// recent is a sliding window of blocks used as uncle candidates;
 	// entries carry their height so trimming and filtering never touch
 	// the tree. inRecent[id] tracks membership (blocks leave only by
-	// trimming).
-	recent   []windowBlock
-	inRecent []bool
+	// trimming). The live window is recent[recentHead:]: trimming
+	// advances the head cursor instead of compacting, and the rare
+	// compaction (once the dead prefix reaches recentCompactHead) keeps
+	// the backing array bounded — one amortized entry move per trim
+	// instead of a whole-window memmove per event.
+	recent     []windowBlock
+	recentHead int
+	inRecent   []bool
 
 	// forkChildren lists the blocks in recent whose parent has at least
 	// two children, sorted by ID (= creation order, the order recent
@@ -326,6 +345,15 @@ type simulator struct {
 	// tip and all pool branches). It advances at race resolutions and
 	// gates candidate purging.
 	floor chain.BlockID
+
+	// floorDirty marks that the race topology changed this event (an
+	// adopt, a commit, or a rebase — the only operations that can move the
+	// consensus floor), deferring the floor recompute and candidate purge
+	// to one flushFloor call at the end of the event instead of once per
+	// reaction inside the fixed-point loop. Between events the flushed
+	// floor always equals consensusFloor(), which is what lets the
+	// per-event settled-floor observation read it instead of recomputing.
+	floorDirty bool
 
 	// occ is the pool-indexed set of dense (Ls x Lh) occupancy grids
 	// (grid p-1 records pool p's frame; a poolless population keeps one
@@ -367,6 +395,15 @@ type simulator struct {
 	ffwd      bool
 	ffwdMiner chain.MinerID
 	ffwdLogQ  float64
+
+	// originFast enables the plain loop's race-origin fast path: when
+	// every pool is tabled and its table plainly adopts at (0, 1, 0), an
+	// honest block found with every pool parked at the origin has a fully
+	// determined outcome (extend the tip, every pool re-adopts, the floor
+	// rides up one), so the event skips the leader scan, the reaction
+	// loop, and the floor recompute while consuming identical draws.
+	// Mutually exclusive with ffwd, which skips those events wholesale.
+	originFast bool
 
 	// events counts block-creation events by producing pool (entry 0: the
 	// honest crowd), feeding Result.EventsByPool. The selfish share of
@@ -415,6 +452,7 @@ func (s *simulator) init(cfg Config) {
 	s.published[0] = true // genesis
 	s.inRecent[0] = false
 	s.recent = s.recent[:0]
+	s.recentHead = 0
 	s.forkChildren = s.forkChildren[:0]
 	s.referencedInWindow = 0
 
@@ -428,6 +466,10 @@ func (s *simulator) init(cfg Config) {
 	for i := range s.pools {
 		p := &s.pools[i]
 		p.strat = cfg.strategyFor(i + 1)
+		p.table = nil
+		if !cfg.NoDecisionTables {
+			p.table = tableFor(p.strat)
+		}
 		p.root = genesis
 		p.rootHeight = 0
 		p.blocks = p.blocks[:0]
@@ -436,6 +478,7 @@ func (s *simulator) init(cfg Config) {
 	s.pubTip = genesis
 	s.pubHeight = 0
 	s.floor = genesis
+	s.floorDirty = false
 
 	grids := numPools
 	if grids == 0 {
@@ -467,7 +510,28 @@ func (s *simulator) init(cfg Config) {
 	}
 	s.initTime(cfg)
 	s.initFastForward(cfg)
+	s.initOriginFast()
 	s.initAudit(cfg)
+}
+
+// initOriginFast decides whether the plain loop may take the race-origin
+// fast path. The probe is table-only — a pool without a compiled table
+// keeps the plain path rather than having its strategy called at init —
+// and requires at least one pool (the poolless engine's floor never
+// advances, which the fast path could not mirror). Under ffwd the origin
+// events are skipped wholesale instead, so the fast path stands down.
+func (s *simulator) initOriginFast() {
+	s.originFast = false
+	if s.ffwd || len(s.pools) == 0 {
+		return
+	}
+	for i := range s.pools {
+		t := s.pools[i].table
+		if t == nil || !t.AdoptsAtOrigin() {
+			return
+		}
+	}
+	s.originFast = true
 }
 
 // frame returns pool index i's race frame: the (Ls, Lh, published) triple
@@ -585,24 +649,38 @@ func (s *simulator) extend(parent chain.BlockID, miner chain.MinerID, uncles []c
 	s.inRecent = append(s.inRecent, true)
 	s.recent = append(s.recent, windowBlock{id: id, height: height})
 	// Trim the candidate window: drop blocks too old to ever be
-	// referenced again. Compacting in place (rather than reslicing the
-	// tail) keeps the backing array stable, so the window never forces a
-	// reallocation once it has reached steady-state size.
-	minHeight := height - s.window - 1
-	trim := 0
-	for trim < len(s.recent) && s.recent[trim].height < minHeight {
-		old := s.recent[trim].id
+	// referenced again.
+	s.trimRecent(height - s.window - 1)
+	return id, nil
+}
+
+// recentCompactHead is the dead-prefix length at which trimRecent compacts
+// the candidate window's backing array. Until then trims only advance the
+// head cursor, so the steady state pays one amortized entry move per trim
+// and the array stays within a couple of windows of its live size.
+const recentCompactHead = 64
+
+// trimRecent drops candidate-window entries below minHeight (they can never
+// be referenced again) by advancing the head cursor, compacting the backing
+// array only when the dead prefix has grown to recentCompactHead entries.
+func (s *simulator) trimRecent(minHeight int) {
+	head := s.recentHead
+	for head < len(s.recent) && s.recent[head].height < minHeight {
+		old := s.recent[head].id
 		s.inRecent[old] = false
 		// Scanning the tiny fork-child set directly is cheaper than
 		// asking the tree whether old is a fork child first.
-		s.removeForkChild(old)
-		trim++
+		if len(s.forkChildren) > 0 {
+			s.removeForkChild(old)
+		}
+		head++
 	}
-	if trim > 0 {
-		n := copy(s.recent, s.recent[trim:])
+	if head >= recentCompactHead {
+		n := copy(s.recent, s.recent[head:])
 		s.recent = s.recent[:n]
+		head = 0
 	}
-	return id, nil
+	s.recentHead = head
 }
 
 // publishPool marks the first n blocks of pool p's branch as visible to
@@ -777,7 +855,11 @@ func (s *simulator) eligibleUncles(parent chain.BlockID, viewer mining.PoolID) [
 	}
 	// Only a referenced-somewhere candidate can be rejected by the
 	// already-referenced rule; while the window holds none, the walk
-	// skips gathering ancestor references.
+	// skips gathering ancestor references. (The rejection must scan the
+	// ancestors' own reference lists: the tree's reverse index keeps one
+	// referencer per block, but competing private branches can each
+	// reference the same published candidate, so per-chain rejection
+	// cannot trust it.)
 	needRefs := s.referencedInWindow > 0
 
 	// Map each height from the lowest surviving candidate up to the new
@@ -785,7 +867,9 @@ func (s *simulator) eligibleUncles(parent chain.BlockID, viewer mining.PoolID) [
 	// already reference. base is the deepest height mapped (the parent
 	// height of the lowest candidate); chainScratch[h-base] holds the
 	// ancestor at height h. Ancestors below base only reference uncles
-	// deeper than any candidate, so the shortened walk loses nothing.
+	// deeper than any candidate, so the shortened walk loses nothing —
+	// and only ancestors above minH can reference a candidate at all, so
+	// the reference gathering stops a step earlier than the mapping.
 	base := minH - 1
 	span := newHeight - base
 	if cap(s.chainScratch) < span {
@@ -873,7 +957,7 @@ func (s *simulator) poolEvent(pi int, miner chain.MinerID) error {
 	p.blocks = append(p.blocks, id)
 
 	before := s.pubHeight
-	if err := s.applyReaction(pi, p.strat.ReactToPool(s.frame(pi))); err != nil {
+	if err := s.reactPool(pi); err != nil {
 		return err
 	}
 	if s.pubHeight != before {
@@ -896,7 +980,7 @@ func (s *simulator) reactOthers(skip int) error {
 			if i == skip {
 				continue
 			}
-			if err := s.applyReaction(i, s.pools[i].strat.ReactToHonest(s.frame(i))); err != nil {
+			if err := s.reactHonest(i); err != nil {
 				return err
 			}
 		}
@@ -907,7 +991,54 @@ func (s *simulator) reactOthers(skip int) error {
 	}
 }
 
-// applyReaction executes pool index pi's strategy decision.
+// reactPool consults pool pi about its own fresh block and applies the
+// decision: a pre-validated table load for tabled strategies, the live
+// interface call (with per-event validation) otherwise. Overflow frames and
+// frames whose compiled reaction was invalid fall back to the live path, so
+// errors surface at the same event with the same message either way.
+func (s *simulator) reactPool(pi int) error {
+	p := &s.pools[pi]
+	ls, lh, published := len(p.blocks), s.pubHeight-p.rootHeight, p.published
+	if t := p.table; t != nil {
+		if e, ok := entryAt(t.pool, ls, lh, published); ok && e != tableInvalid {
+			return s.applyEntry(pi, e)
+		}
+	}
+	return s.applyReaction(pi, p.strat.ReactToPool(ls, lh, published))
+}
+
+// reactHonest consults pool pi about an advanced public chain and applies
+// the decision, with the same table-first dispatch as reactPool.
+func (s *simulator) reactHonest(pi int) error {
+	p := &s.pools[pi]
+	ls, lh, published := len(p.blocks), s.pubHeight-p.rootHeight, p.published
+	if t := p.table; t != nil {
+		if e, ok := entryAt(t.honest, ls, lh, published); ok && e != tableInvalid {
+			return s.applyEntry(pi, e)
+		}
+	}
+	return s.applyReaction(pi, p.strat.ReactToHonest(ls, lh, published))
+}
+
+// applyEntry executes a compiled (already validated) table entry for pool
+// pi. The keep entry returns without touching any state, which is the
+// common case across long stretches of a race.
+func (s *simulator) applyEntry(pi int, e int8) error {
+	switch {
+	case e == tableKeep:
+		return nil
+	case e > 0:
+		s.publishPool(&s.pools[pi], int(e))
+		return nil
+	case e == tableAdopt:
+		return s.adopt(pi)
+	default:
+		return s.commit(pi)
+	}
+}
+
+// applyReaction validates and executes pool index pi's live strategy
+// decision.
 func (s *simulator) applyReaction(pi int, r Reaction) error {
 	p := &s.pools[pi]
 	ls, lh, published := s.frame(pi)
@@ -916,28 +1047,60 @@ func (s *simulator) applyReaction(pi int, r Reaction) error {
 	}
 	switch {
 	case r.Adopt:
-		// Abandon the private branch and rejoin the public chain.
-		p.blocks = p.blocks[:0]
-		p.published = 0
-		p.root = s.pubTip
-		p.rootHeight = s.pubHeight
-		return s.resolve()
+		return s.adopt(pi)
 	case r.Commit:
-		// Publish the whole branch; strictly longest, it becomes the
-		// public chain (validateReaction guarantees ls > lh).
-		s.publishPool(p, ls)
-		tip := p.blocks[ls-1]
-		s.pubTip = tip
-		s.pubHeight = p.rootHeight + ls
-		p.blocks = p.blocks[:0]
-		p.published = 0
-		p.root = tip
-		p.rootHeight = s.pubHeight
-		return s.resolve()
+		return s.commit(pi)
 	default:
 		s.publishPool(p, r.PublishTo)
 	}
 	return nil
+}
+
+// adopt abandons pool pi's private branch and rejoins the public chain. The
+// floor recompute is deferred to the end-of-event flushFloor.
+func (s *simulator) adopt(pi int) error {
+	p := &s.pools[pi]
+	p.blocks = p.blocks[:0]
+	p.published = 0
+	p.root = s.pubTip
+	p.rootHeight = s.pubHeight
+	s.floorDirty = true
+	return nil
+}
+
+// commit publishes pool pi's whole branch; strictly longest, it becomes the
+// public chain (validation — per-event or at table compile — guarantees
+// ls > lh, so the branch is non-empty). The floor recompute is deferred to
+// the end-of-event flushFloor.
+func (s *simulator) commit(pi int) error {
+	p := &s.pools[pi]
+	ls := len(p.blocks)
+	s.publishPool(p, ls)
+	tip := p.blocks[ls-1]
+	s.pubTip = tip
+	s.pubHeight = p.rootHeight + ls
+	p.blocks = p.blocks[:0]
+	p.published = 0
+	p.root = tip
+	p.rootHeight = s.pubHeight
+	s.floorDirty = true
+	return nil
+}
+
+// flushFloor recomputes the consensus floor once per event, after every
+// reaction has been applied. Deferring the recompute out of the fixed-point
+// reaction loop is result-identical: nothing reads the floor mid-event, a
+// batched advance composes the per-reaction advances (ancestry is
+// transitive, so floor monotonicity audits the same invariant), and the
+// candidate purge is monotone in the floor — candidates an intermediate
+// floor would have purged are purged by the final one, and eligibleUncles'
+// own filters independently reject them meanwhile.
+func (s *simulator) flushFloor() error {
+	if !s.floorDirty {
+		return nil
+	}
+	s.floorDirty = false
+	return s.resolve()
 }
 
 // clampIndex maps a unit-interval fraction to an index in [0, n), guarding
@@ -1026,13 +1189,16 @@ func (s *simulator) honestEvent(miner chain.MinerID) error {
 	if targetPool >= 0 {
 		// The new block extends a pool's published prefix: that prefix
 		// becomes public history (a rebase). The pool keeps only its
-		// blocks above the old published tip.
+		// blocks above the old published tip — which moves the pool's fork
+		// point, so the consensus floor may advance even if every pool
+		// then keeps.
 		p := &s.pools[targetPool]
 		p.root = target
 		p.rootHeight += p.published
 		n := copy(p.blocks, p.blocks[p.published:])
 		p.blocks = p.blocks[:n]
 		p.published = 0
+		s.floorDirty = true
 	}
 	s.pubTip = id
 	s.pubHeight = bestHeight + 1
@@ -1068,6 +1234,78 @@ func (s *simulator) run() error {
 			if err := s.poolEvent(int(miner.Pool)-1, miner.ID); err != nil {
 				return err
 			}
+			if err := s.flushFloor(); err != nil {
+				return err
+			}
+			if s.aud != nil {
+				if err := s.auditEvent(i); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Race-origin fast path: with every pool parked at the origin and
+		// the tip childless, an honest find has a fully determined outcome
+		// — extend the tip, every pool re-adopts to it (the compiled
+		// tables say so), the floor rides up one, nothing forks. Play
+		// exactly that, consuming exactly the draws the general path would
+		// (the winner sample; no leader or gamma draw exists at the
+		// origin), and skip the leader scan, the reaction loop, and the
+		// floor recompute. A selfish find drops to the general path below.
+		if s.originFast && len(s.forkChildren) == 0 && s.atRaceOrigin() {
+			for pi := range s.pools {
+				s.occ[pi][0]++ // recordState: every pool sits at (0, 0)
+			}
+			if s.timing {
+				s.advanceClock()
+			}
+			miner := pop.Sample(s.random)
+			s.events[miner.Pool]++
+			if miner.Pool == mining.HonestPool {
+				// The tip is childless at the origin, so the append is a
+				// pure leaf extension: AppendLeaf mutates exactly as
+				// extend would (no siblings, no uncles, no fork children),
+				// and the window bookkeeping below mirrors extend's for a
+				// block at height pubHeight+1. Fall back to the general
+				// path if the childless assumption ever fails.
+				id, leaf := s.tree.AppendLeaf(s.pubTip, miner.ID, s.clock)
+				if leaf {
+					s.published = append(s.published, true)
+					s.inRecent = append(s.inRecent, true)
+					s.recent = append(s.recent, windowBlock{id: id, height: s.pubHeight + 1})
+					s.trimRecent(s.pubHeight - s.window)
+				} else {
+					var err error
+					id, err = s.extend(s.pubTip, miner.ID, nil, true)
+					if err != nil {
+						return err
+					}
+				}
+				s.pubTip = id
+				s.pubHeight++
+				for pi := range s.pools {
+					p := &s.pools[pi]
+					p.root = id
+					p.rootHeight = s.pubHeight
+				}
+				// The floor rides the tip: every pool just re-adopted.
+				if s.aud != nil {
+					if err := s.aud.auditFloor(s, s.floor, id); err != nil {
+						return err
+					}
+				}
+				s.floor = id
+			} else {
+				if err := s.poolEvent(int(miner.Pool)-1, miner.ID); err != nil {
+					return err
+				}
+				if err := s.flushFloor(); err != nil {
+					return err
+				}
+			}
+			if s.ctrl != nil {
+				s.observeSettled()
+			}
 			if s.aud != nil {
 				if err := s.auditEvent(i); err != nil {
 					return err
@@ -1088,6 +1326,9 @@ func (s *simulator) run() error {
 			err = s.honestEvent(miner.ID)
 		}
 		if err != nil {
+			return err
+		}
+		if err := s.flushFloor(); err != nil {
 			return err
 		}
 		if s.ctrl != nil {

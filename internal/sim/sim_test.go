@@ -381,7 +381,7 @@ func TestBitcoinScheduleMatchesEyalSirer(t *testing.T) {
 	}
 	a, g := alpha, gamma
 	want := (a*(1-a)*(1-a)*(4*a+g*(1-2*a)) - a*a*a) / (1 - a*(1+(2-a)*a))
-	acc := series.Mean(func(r Result) float64 { return r.PoolShare() })
+	acc := series.Mean(func(r *Result) float64 { return r.PoolShare() })
 	got := acc.Mean()
 	if math.Abs(got-want) > 0.01 {
 		t.Errorf("simulated share %.4f, Eyal-Sirer %.4f", got, want)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // The paper leaves "the design of new mining strategies" as future work.
@@ -224,10 +225,23 @@ func StrategyDefs() []StrategyDef {
 	return out
 }
 
+// strategyCache memoizes constructed strategies by canonical spec string.
+// Sharing one instance per distinct spec is safe because strategies are
+// pure frame functions (the contract Config.Strategies documents for
+// sharing an instance across a sweep's workers); only successfully
+// validated specs are ever stored, so a hit needs no re-validation.
+var strategyCache sync.Map
+
 // NewStrategy constructs the Strategy a spec describes: the named
 // definition with the spec's parameters over the definition's defaults.
-// Unknown names, unknown keys, and out-of-range values are errors.
+// Unknown names, unknown keys, and out-of-range values are errors. Specs
+// describing the same strategy return one shared instance — construction
+// sits on sweep hot paths, where every grid point resolves its pools.
 func NewStrategy(spec StrategySpec) (Strategy, error) {
+	canon := spec.String()
+	if s, ok := strategyCache.Load(canon); ok {
+		return s.(Strategy), nil
+	}
 	def, ok := registry[spec.Name]
 	if !ok {
 		return nil, fmt.Errorf("%w: unknown strategy %q (registered: %s)",
@@ -249,7 +263,9 @@ func NewStrategy(spec StrategySpec) (Strategy, error) {
 		}
 		params[key] = value
 	}
-	return def.New(params), nil
+	s := def.New(params)
+	strategyCache.Store(canon, s)
+	return s, nil
 }
 
 // NewStrategies constructs one Strategy per spec, for Config.Strategies.

@@ -55,6 +55,21 @@ type Strategy interface {
 // not exist, or un-publishing already-announced blocks).
 var ErrBadReaction = errors.New("sim: strategy returned an invalid reaction")
 
+// reactionAllowed reports whether a strategy's decision is legal at the
+// given race state: the allocation-free twin of validateReaction, used by
+// decision-table compilation, which validates every frame of the window up
+// front and must not build a quarter-million error values doing so.
+// FuzzValidateReaction pins the two against each other.
+func reactionAllowed(r Reaction, ls, lh, published int) bool {
+	if r.Commit && (r.Adopt || ls <= lh) {
+		return false
+	}
+	if r.PublishTo > ls {
+		return false
+	}
+	return r.PublishTo == 0 || r.PublishTo >= published
+}
+
 // validateReaction checks a strategy's decision against the race state.
 func validateReaction(r Reaction, ls, lh, published int) error {
 	if r.Commit && r.Adopt {

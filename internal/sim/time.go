@@ -73,7 +73,15 @@ func (s *simulator) advanceClock() {
 // controller sees the protocol's actual uncle production, not a model
 // approximation.
 func (s *simulator) observeSettled() {
-	floor := s.consensusFloor()
+	// The end-of-event flushFloor guarantees s.floor equals
+	// consensusFloor() here, so the observation reads the maintained floor
+	// instead of re-walking common ancestors every event. The poolless
+	// engine never resolves (the floor is pool-triggered); its consensus
+	// floor is simply the public tip.
+	floor := s.floor
+	if len(s.pools) == 0 {
+		floor = s.pubTip
+	}
 	if floor == s.observedTo {
 		return
 	}

@@ -12,11 +12,12 @@ BENCH_HISTORY ?= BENCH_HISTORY.json
 
 # The workloads gated against a same-machine baseline: the K-pool races,
 # the tournament engine, the continuous-time workloads, the fast-forward
-# speedup pair, and the result-cache cold/warm pair (cold bounds the
-# cache's miss-path overhead; warm pins the fully cached sweep).
-# bench-gate and the CI workflow both read this list, so the two cannot
-# drift.
-BENCH_GATE_FILTERS := 2pools tournament eip100 profitability alpha05 fastforward cache
+# speedup pair, the result-cache cold/warm pair (cold bounds the cache's
+# miss-path overhead; warm pins the fully cached sweep), and the
+# long-horizon streaming workload (1m guards the O(window) memory claim
+# through the bytes/op gate). bench-gate and the CI workflow both read
+# this list, so the two cannot drift.
+BENCH_GATE_FILTERS := 2pools tournament eip100 profitability alpha05 fastforward cache 1m
 
 .PHONY: check build vet test race agreement staticcheck chaos-smoke cache-smoke fuzz-smoke bench bench-json bench-baseline bench-compare bench-gate bench-record bench-smoke
 
@@ -108,7 +109,7 @@ bench-baseline:
 	$(GO) run ./cmd/ethbench > $(BENCH_BASELINE)
 
 # Compare against the recorded baseline; exits non-zero on a >20%
-# regression in ns/op or allocs/op of any shared benchmark.
+# regression in ns/op, bytes/op, or allocs/op of any shared benchmark.
 bench-compare:
 	$(GO) run ./cmd/ethbench -baseline $(BENCH_BASELINE)
 
@@ -141,3 +142,6 @@ bench-smoke:
 		-cpuprofile=$(BENCH_PROFILE_DIR)/cpu.pprof \
 		-memprofile=$(BENCH_PROFILE_DIR)/mem.pprof \
 		-o $(BENCH_PROFILE_DIR)/bench.test .
+	$(GO) test -run=NONE -bench=Simulator1MBlocksStreaming -benchtime=1x \
+		-memprofile=$(BENCH_PROFILE_DIR)/longhorizon-heap.pprof \
+		-o $(BENCH_PROFILE_DIR)/longhorizon.test .

@@ -136,6 +136,10 @@ func BenchmarkThresholdSearch(b *testing.B) {
 }
 
 func BenchmarkSimulator100kBlocks(b *testing.B) {
+	// Streaming settlement is the production configuration for long
+	// horizons: the settled prefix is folded into dense tallies as the
+	// consensus floor advances and evicted from the tree, so bytes/op is
+	// bounded by the uncle window, not the run length.
 	b.ReportAllocs()
 	pop, err := mining.TwoAgent(0.35)
 	if err != nil {
@@ -148,6 +152,7 @@ func BenchmarkSimulator100kBlocks(b *testing.B) {
 			Gamma:      0.5,
 			Blocks:     100000,
 			Seed:       uint64(i),
+			Streaming:  true,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -157,6 +162,35 @@ func BenchmarkSimulator100kBlocks(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100000, "blocks/op")
+}
+
+func BenchmarkSimulator1MBlocksStreaming(b *testing.B) {
+	// The long-horizon workload: a million blocks through one reused
+	// Runner with streaming settlement — flat O(window) memory for the
+	// whole run.
+	b.ReportAllocs()
+	pop, err := mining.TwoAgent(0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rn := sim.NewRunner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := rn.Run(sim.Config{
+			Population: pop,
+			Gamma:      0.5,
+			Blocks:     1000000,
+			Seed:       uint64(i),
+			Streaming:  true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if result.RegularCount == 0 {
+			b.Fatal("no settled blocks")
+		}
+	}
+	b.ReportMetric(1000000, "blocks/op")
 }
 
 func BenchmarkSimulator100kBlocks1000Miners(b *testing.B) {

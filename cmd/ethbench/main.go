@@ -12,8 +12,9 @@
 //	-parallel N      experiment engine workers (default 0: one per CPU)
 //	-list            print benchmark names and exit
 //	-baseline FILE   compare against a saved JSON run instead of printing
-//	                 JSON: print per-benchmark deltas (ns/op, allocs/op)
-//	                 and exit non-zero on a >20% regression in either
+//	                 JSON: print per-benchmark deltas (ns/op, bytes/op,
+//	                 allocs/op) and exit non-zero on a >20% regression in
+//	                 any of the three
 //	-record FILE     append this run as a dated entry to a JSON history
 //	                 file (the BENCH_HISTORY.json trajectory), in addition
 //	                 to the normal stdout output
@@ -69,6 +70,10 @@ type benchmark struct {
 func benchmarks() []benchmark {
 	return []benchmark{
 		{name: "sim-100k-blocks", run: func(b *testing.B, parallel int) {
+			// The headline tracking workload runs the production
+			// configuration: streaming settlement, so resident memory is
+			// O(uncle window) and bytes/op is the Result plus the
+			// window-bounded engine state, not a 100k-block tree.
 			pop, err := mining.TwoAgent(0.35)
 			if err != nil {
 				b.Fatal(err)
@@ -80,6 +85,30 @@ func benchmarks() []benchmark {
 					Gamma:      0.5,
 					Blocks:     100000,
 					Seed:       uint64(i),
+					Streaming:  true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "sim-1m-blocks", run: func(b *testing.B, parallel int) {
+			// The long-horizon workload: a million blocks through one
+			// reused Runner under streaming settlement. Heap stays flat
+			// at O(uncle window); the bench-smoke heap profile artifact
+			// is taken from this workload.
+			pop, err := mining.TwoAgent(0.35)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rn := sim.NewRunner()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rn.Run(sim.Config{
+					Population: pop,
+					Gamma:      0.5,
+					Blocks:     1000000,
+					Seed:       uint64(i),
+					Streaming:  true,
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -252,6 +281,7 @@ func benchmarks() []benchmark {
 					Blocks:      100000,
 					Seed:        uint64(i),
 					FastForward: true,
+					Streaming:   true,
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -485,13 +515,20 @@ func run(args []string, w io.Writer) error {
 		if r.N == 0 {
 			return fmt.Errorf("benchmark %s failed", bench.name)
 		}
+		// A zero -parallel flag means one worker per CPU; record the
+		// resolved count so history entries from different machines (and
+		// flag spellings of the same setup) stay comparable.
+		parallelism := *parallel
+		if parallelism == 0 {
+			parallelism = runtime.GOMAXPROCS(0)
+		}
 		results = append(results, Result{
 			Name:        bench.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-			Parallelism: *parallel,
+			Parallelism: parallelism,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		})
 	}
@@ -550,13 +587,15 @@ func appendHistory(path string, results []Result) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-// regressionLimit is the tolerated relative increase in ns/op or allocs/op
-// before the compare mode fails.
+// regressionLimit is the tolerated relative increase in ns/op, bytes/op, or
+// allocs/op before the compare mode fails.
 const regressionLimit = 0.20
 
 // compareBaseline prints per-benchmark deltas against a saved JSON run and
 // returns an error (non-zero exit) if any shared benchmark regressed by
-// more than regressionLimit in ns/op or allocs/op.
+// more than regressionLimit in ns/op, bytes/op, or allocs/op. Gating memory
+// alongside time keeps the streaming-settlement footprint honest: a change
+// that quietly re-grows per-op allocations fails here even when ns/op holds.
 func compareBaseline(w io.Writer, path string, results []Result) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -572,22 +611,29 @@ func compareBaseline(w io.Writer, path string, results []Result) error {
 	}
 
 	var regressions []string
-	fmt.Fprintf(w, "%-32s %14s %14s %8s %10s %10s %8s\n",
-		"benchmark", "ns/op(base)", "ns/op(new)", "delta", "allocs(b)", "allocs(n)", "delta")
+	fmt.Fprintf(w, "%-32s %14s %14s %8s %12s %12s %8s %10s %10s %8s\n",
+		"benchmark", "ns/op(base)", "ns/op(new)", "delta", "bytes(b)", "bytes(n)", "delta", "allocs(b)", "allocs(n)", "delta")
 	for _, r := range results {
 		b, ok := baseByName[r.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-32s %14s %14.0f %8s %10s %10d %8s\n",
-				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp, "new")
+			fmt.Fprintf(w, "%-32s %14s %14.0f %8s %12s %12d %8s %10s %10d %8s\n",
+				r.Name, "-", r.NsPerOp, "new", "-", r.BytesPerOp, "new", "-", r.AllocsPerOp, "new")
 			continue
 		}
 		nsDelta := relativeDelta(b.NsPerOp, r.NsPerOp)
+		bytesDelta := relativeDelta(float64(b.BytesPerOp), float64(r.BytesPerOp))
 		allocDelta := relativeDelta(float64(b.AllocsPerOp), float64(r.AllocsPerOp))
-		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%% %10d %10d %+7.1f%%\n",
-			r.Name, b.NsPerOp, r.NsPerOp, 100*nsDelta, b.AllocsPerOp, r.AllocsPerOp, 100*allocDelta)
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%% %12d %12d %+7.1f%% %10d %10d %+7.1f%%\n",
+			r.Name, b.NsPerOp, r.NsPerOp, 100*nsDelta,
+			b.BytesPerOp, r.BytesPerOp, 100*bytesDelta,
+			b.AllocsPerOp, r.AllocsPerOp, 100*allocDelta)
 		if nsDelta > regressionLimit {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: ns/op %+.1f%%", r.Name, 100*nsDelta))
+		}
+		if bytesDelta > regressionLimit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: bytes/op %+.1f%%", r.Name, 100*bytesDelta))
 		}
 		if allocDelta > regressionLimit {
 			regressions = append(regressions,

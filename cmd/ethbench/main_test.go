@@ -136,6 +136,27 @@ func TestCompareBaselineFailsOnNsRegression(t *testing.T) {
 	}
 }
 
+func TestCompareBaselineFailsOnBytesRegression(t *testing.T) {
+	results := []Result{{Name: "x", NsPerOp: 100, BytesPerOp: 13 << 20, AllocsPerOp: 10}}
+	base := []Result{{Name: "x", NsPerOp: 100, BytesPerOp: 10 << 20, AllocsPerOp: 10}}
+	var out bytes.Buffer
+	err := compareBaseline(&out, writeBaseline(t, base), results)
+	if err == nil || !strings.Contains(err.Error(), "bytes/op") {
+		t.Fatalf("30%% more bytes should fail on bytes/op, got %v", err)
+	}
+}
+
+func TestCompareBaselineToleratesZeroBytesBaseline(t *testing.T) {
+	// Histories recorded before the bytes gate carry zero BytesPerOp;
+	// comparing against them must not fabricate a regression.
+	results := []Result{{Name: "x", NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 10}}
+	base := []Result{{Name: "x", NsPerOp: 100, AllocsPerOp: 10}}
+	var out bytes.Buffer
+	if err := compareBaseline(&out, writeBaseline(t, base), results); err != nil {
+		t.Fatalf("zero-bytes baseline should pass: %v", err)
+	}
+}
+
 func TestCompareBaselineFailsOnAllocRegression(t *testing.T) {
 	results := []Result{{Name: "x", NsPerOp: 100, AllocsPerOp: 13}}
 	base := []Result{{Name: "x", NsPerOp: 100, AllocsPerOp: 10}}

@@ -141,8 +141,35 @@
 // window, per-pool branches and occupancy grids, scratch buffers) for
 // every run it executes, resetting rather than re-allocating.
 // cmd/ethbench emits machine-readable benchmark results, a -baseline
-// compare mode, a -record mode appending dated entries to the committed
-// benchmark history, and -cpuprofile/-memprofile for pprof output.
+// compare mode (gating ns/op, bytes/op, and allocs/op), a -record mode
+// appending dated entries to the committed benchmark history, and
+// -cpuprofile/-memprofile for pprof output.
+//
+// # Streaming settlement
+//
+// sim.Config.Streaming bounds the event loop's memory by the active race
+// window instead of the run length, for multi-million-block horizons. The
+// contract:
+//
+//   - As the consensus floor advances, the decided prefix — every block at
+//     or below floor height minus (uncle window + 1) — is folded into
+//     dense per-miner reward tallies by an incremental chain.StreamSettler,
+//     and the settled records are evicted from the block tree by
+//     base-offset compaction (surviving chain.BlockIDs stay stable).
+//   - Results are bit-identical to one-shot settlement: reward values are
+//     dyadic rationals well inside float64's exact-integer range, so the
+//     per-miner sums are order-independent. A golden equivalence suite,
+//     a fuzz property over random legal strategies, and the sampled
+//     conservation audit (replayed against a cloned settler mid-run) pin
+//     this.
+//   - The one approximation is the Result.Steady window boundary on runs
+//     past 2048 settled blocks: cumulative snapshots live on a
+//     doubling-granularity ring, so the early/steady split may round down
+//     by O(blocks/2048) heights. Reward totals, counts, occupancy, and
+//     audits are exact regardless.
+//   - Streaming composes with the time axis, fast-forward, audits, and
+//     Runner reuse; it rejects only trace recording (which needs the full
+//     tree at the end of the run).
 //
 // # Fast-forward and variance reduction
 //

@@ -15,10 +15,14 @@ import (
 // ErrDecode is returned when a serialized tree is malformed.
 var ErrDecode = errors.New("chain: invalid serialized tree")
 
-// treeJSON is the on-disk representation.
+// treeJSON is the on-disk representation. Base is present (version 2) only
+// for compacted trees: it is the lowest resident block ID, and Blocks then
+// starts there instead of at genesis. A full tree's document (version 1,
+// base omitted) is byte-identical to the pre-compaction format.
 type treeJSON struct {
 	Version int         `json:"version"`
 	Config  configJSON  `json:"config"`
+	Base    int         `json:"base,omitempty"`
 	Blocks  []blockJSON `json:"blocks"`
 }
 
@@ -36,20 +40,31 @@ type blockJSON struct {
 	Uncles []BlockID `json:"uncles,omitempty"`
 }
 
-// encodeVersion identifies the trace format.
-const encodeVersion = 1
+// encodeVersion identifies the trace format for full trees;
+// encodeVersionCompacted marks documents that begin at a nonzero base.
+const (
+	encodeVersion          = 1
+	encodeVersionCompacted = 2
+)
 
-// Encode writes the tree as JSON.
+// Encode writes the tree as JSON. A compacted tree writes its resident
+// suffix [Base(), Len()) as a version-2 document; an uncompacted tree's
+// output is unchanged from the version-1 format.
 func (t *Tree) Encode(w io.Writer) error {
+	version := encodeVersion
+	if t.base != 0 {
+		version = encodeVersionCompacted
+	}
 	doc := treeJSON{
-		Version: encodeVersion,
+		Version: version,
 		Config: configJSON{
 			MaxUncleDepth:     t.cfg.MaxUncleDepth,
 			MaxUnclesPerBlock: t.cfg.MaxUnclesPerBlock,
 		},
-		Blocks: make([]blockJSON, 0, t.Len()),
+		Base:   int(t.base),
+		Blocks: make([]blockJSON, 0, len(t.recs)),
 	}
-	for id := 0; id < t.Len(); id++ {
+	for id := int(t.base); id < t.Len(); id++ {
 		b := t.Block(BlockID(id))
 		doc.Blocks = append(doc.Blocks, blockJSON{
 			ID:     b.ID,
@@ -65,16 +80,26 @@ func (t *Tree) Encode(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
-// Decode reconstructs a tree from its JSON form, re-validating every block
-// and uncle reference through the normal Extend path, so a tampered trace
-// cannot produce an inconsistent tree.
+// Decode reconstructs a tree from its JSON form. Version-1 documents are
+// re-validated block by block through the normal Extend path, so a tampered
+// trace cannot produce an inconsistent tree. Version-2 (compacted) documents
+// carry dangling backward edges into the evicted prefix, which Extend cannot
+// replay; their records are rebuilt directly under the same structural
+// checks minus the ones that would dereference evicted blocks.
 func Decode(r io.Reader) (*Tree, error) {
 	var doc treeJSON
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
 	}
-	if doc.Version != encodeVersion {
+	switch doc.Version {
+	case encodeVersion:
+	case encodeVersionCompacted:
+		return decodeCompacted(doc)
+	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrDecode, doc.Version)
+	}
+	if doc.Base != 0 {
+		return nil, fmt.Errorf("%w: version 1 with nonzero base %d", ErrDecode, doc.Base)
 	}
 	if len(doc.Blocks) == 0 {
 		return nil, fmt.Errorf("%w: no blocks", ErrDecode)
@@ -102,4 +127,101 @@ func Decode(r io.Reader) (*Tree, error) {
 		}
 	}
 	return tree, nil
+}
+
+// decodeCompacted rebuilds a compacted tree's resident suffix. Structural
+// checks that stay within the document are enforced (contiguous IDs,
+// backward parents and uncles, parent/child height agreement, uncle depth
+// and count limits, single reference per resident uncle); edges into the
+// evicted prefix are recorded as-is, exactly as CompactBelow leaves them.
+func decodeCompacted(doc treeJSON) (*Tree, error) {
+	if doc.Base <= 0 {
+		return nil, fmt.Errorf("%w: compacted document with base %d", ErrDecode, doc.Base)
+	}
+	if len(doc.Blocks) == 0 {
+		return nil, fmt.Errorf("%w: no blocks", ErrDecode)
+	}
+	t := &Tree{
+		cfg: Config{
+			MaxUncleDepth:     doc.Config.MaxUncleDepth,
+			MaxUnclesPerBlock: doc.Config.MaxUnclesPerBlock,
+		},
+		base: int32(doc.Base),
+	}
+	t.recs = make([]rec, 0, len(doc.Blocks))
+	t.links = make([]links, 0, len(doc.Blocks))
+	storeTimes := false
+	for _, b := range doc.Blocks {
+		if b.Time != 0 {
+			storeTimes = true
+			break
+		}
+	}
+	for i, b := range doc.Blocks {
+		wantID := BlockID(doc.Base + i)
+		if b.ID != wantID {
+			return nil, fmt.Errorf("%w: block %d out of order (id %d)", ErrDecode, int(wantID), b.ID)
+		}
+		if b.Parent == NoBlock || b.Parent < 0 || b.Parent >= b.ID || b.Height < 1 || b.Miner < 0 {
+			return nil, fmt.Errorf("%w: block %d has invalid parent/height/miner", ErrDecode, b.ID)
+		}
+		if t.Contains(b.Parent) && t.HeightOf(b.Parent)+1 != b.Height {
+			return nil, fmt.Errorf("%w: block %d height %d, parent height %d",
+				ErrDecode, b.ID, b.Height, t.HeightOf(b.Parent))
+		}
+		if t.cfg.MaxUnclesPerBlock > 0 && len(b.Uncles) > t.cfg.MaxUnclesPerBlock {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrDecode, b.ID, ErrTooManyUncles)
+		}
+		start := int32(len(t.uncleArena))
+		for j, u := range b.Uncles {
+			if u < 0 || u >= b.ID {
+				return nil, fmt.Errorf("%w: block %d uncle %d: %v", ErrDecode, b.ID, u, ErrUnknownBlock)
+			}
+			for _, prev := range b.Uncles[:j] {
+				if prev == u {
+					return nil, fmt.Errorf("%w: block %d uncle %d: %v", ErrDecode, b.ID, u, ErrDuplicateUncle)
+				}
+			}
+			if t.Contains(u) {
+				d := b.Height - t.HeightOf(u)
+				if d < 1 {
+					return nil, fmt.Errorf("%w: block %d uncle %d: %v", ErrDecode, b.ID, u, ErrUncleNotAttached)
+				}
+				if t.cfg.MaxUncleDepth > 0 && d > t.cfg.MaxUncleDepth {
+					return nil, fmt.Errorf("%w: block %d uncle %d: %v", ErrDecode, b.ID, u, ErrUncleTooDeep)
+				}
+				if t.links[int32(u)-t.base].referencedBy != noBlock32 {
+					return nil, fmt.Errorf("%w: block %d uncle %d: %v", ErrDecode, b.ID, u, ErrUncleAlreadyReferenced)
+				}
+			}
+		}
+		t.uncleArena = append(t.uncleArena, b.Uncles...)
+		t.recs = append(t.recs, rec{
+			parent:     int32(b.Parent),
+			height:     int32(b.Height),
+			miner:      int32(b.Miner),
+			uncleStart: start,
+			uncleEnd:   int32(len(t.uncleArena)),
+		})
+		t.links = append(t.links, noLinks)
+		if storeTimes {
+			t.times = append(t.times, b.Time)
+		}
+		id32 := int32(b.ID)
+		if t.Contains(b.Parent) {
+			lp := &t.links[int32(b.Parent)-t.base]
+			if lp.firstChild == noBlock32 {
+				lp.firstChild = id32
+			} else {
+				t.links[lp.lastChild-t.base].nextSibling = id32
+			}
+			lp.lastChild = id32
+		}
+		for _, u := range b.Uncles {
+			if t.Contains(u) {
+				t.links[int32(u)-t.base].referencedBy = id32
+			}
+		}
+	}
+	return t, nil
 }

@@ -1,23 +1,24 @@
 package chain
 
-// LongestTips returns the block(s) of maximum height, in creation order.
-// With a single element the fork choice is unambiguous; with several, the
-// caller applies its tie-breaking rule (the paper's gamma parameter).
+// LongestTips returns the resident block(s) of maximum height, in creation
+// order. With a single element the fork choice is unambiguous; with several,
+// the caller applies its tie-breaking rule (the paper's gamma parameter).
+// On a compacted tree the scan covers [Base(), Len()), which always contains
+// every leaf (evicted prefixes are decided history below all tips).
 func (t *Tree) LongestTips() []BlockID {
 	best := -1
 	var tips []BlockID
-	for id := range t.recs {
-		if t.links[id].firstChild != noBlock32 {
-			continue
-		}
-		h := int(t.recs[id].height)
-		switch {
-		case h > best:
-			best = h
-			tips = tips[:0]
-			tips = append(tips, BlockID(id))
-		case h == best:
-			tips = append(tips, BlockID(id))
+	for i := range t.recs {
+		if t.links[i].firstChild == noBlock32 {
+			h := int(t.recs[i].height)
+			switch {
+			case h > best:
+				best = h
+				tips = tips[:0]
+				tips = append(tips, BlockID(t.base+int32(i)))
+			case h == best:
+				tips = append(tips, BlockID(t.base+int32(i)))
+			}
 		}
 	}
 	return tips
@@ -28,17 +29,18 @@ func (t *Tree) LongestTips() []BlockID {
 // breaking ties by lowest sequence number (first seen). Ethereum's
 // documentation describes GHOST while its implementation follows the longest
 // chain (see footnote 2 of the paper); both are provided so the difference
-// can be measured.
+// can be measured. It requires the full history (the walk starts at genesis)
+// and panics on a compacted tree.
 func (t *Tree) HeaviestTip() BlockID {
 	weights := t.SubtreeWeights()
 	cursor := t.Genesis()
 	for {
-		first := t.links[cursor].firstChild
+		first := t.links[t.mustIndex(cursor)].firstChild
 		if first == noBlock32 {
 			return cursor
 		}
 		best := first
-		for kid := t.links[first].nextSibling; kid != noBlock32; kid = t.links[kid].nextSibling {
+		for kid := t.links[first-t.base].nextSibling; kid != noBlock32; kid = t.links[kid-t.base].nextSibling {
 			if weights[kid] > weights[best] {
 				best = kid
 			}
@@ -48,8 +50,12 @@ func (t *Tree) HeaviestTip() BlockID {
 }
 
 // SubtreeWeights returns, for every block, the number of blocks in its
-// subtree (itself included). Blocks are indexed by BlockID.
+// subtree (itself included). Blocks are indexed by BlockID, so it requires
+// the full history (a compacted tree has no records for IDs below Base()).
 func (t *Tree) SubtreeWeights() []int {
+	if t.base != 0 {
+		panic("chain: SubtreeWeights requires an uncompacted tree")
+	}
 	weights := make([]int, len(t.recs))
 	// Children always have larger IDs than parents (append-only tree),
 	// so a single reverse sweep accumulates subtree sizes bottom-up.

@@ -154,6 +154,10 @@ func (t *Tree) Classify(tip BlockID) []Classification {
 // schedule) earn nothing but still count as uncles for rate accounting if
 // and only if the schedule allows the distance; they are reported in Refs
 // either way. It returns an error only for an invalid tip.
+//
+// Settle requires the full history (the walk descends to genesis) and
+// panics once it crosses Base() of a compacted tree; streaming runs use a
+// StreamSettler instead, whose incremental tallies are bit-identical.
 func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error) {
 	if !t.Contains(tip) {
 		return Settlement{}, fmt.Errorf("tip %d: %w", tip, ErrUnknownBlock)
@@ -169,8 +173,8 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 	// ID appears, and uncle-free blocks (the vast majority) skip the
 	// reference branch on the arena bounds alone.
 	gen := t.Genesis()
-	for id := tip; id != gen; id = BlockID(t.recs[id].parent) {
-		r := t.recs[id]
+	for id := tip; id != gen; id = BlockID(t.recs[t.mustIndex(id)].parent) {
+		r := t.recs[int32(id)-t.base]
 		s.RegularCount++
 		m := int(r.miner)
 		if m >= len(s.MinerRewards) {
@@ -187,7 +191,8 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 		blockUncles := t.uncles(r)
 		for i := len(blockUncles) - 1; i >= 0; i-- {
 			u := blockUncles[i]
-			d := int(r.height - t.recs[u].height)
+			ur := t.recs[int32(u)-t.base]
+			d := int(r.height - ur.height)
 			s.Refs = append(s.Refs, UncleRef{Uncle: u, Nephew: id, Distance: d})
 			if !schedule.Referenceable(d) {
 				// Too deep for this schedule: the block stays a
@@ -196,7 +201,7 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 			}
 			s.UncleCount++
 			s.MinerRewards[m].Nephew += schedule.Nephew(d)
-			uncleMiner := s.see(MinerID(t.recs[u].miner))
+			uncleMiner := s.see(MinerID(ur.miner))
 			s.MinerRewards[uncleMiner].Uncle += schedule.Uncle(d)
 		}
 	}
@@ -210,7 +215,7 @@ func (t *Tree) Settle(tip BlockID, schedule rewards.Schedule) (Settlement, error
 	// and a settled uncle is counted exactly once — validateUncle forbids
 	// referencing a block twice on one chain — so the stale count follows
 	// from the other two without marking and rescanning the whole tree.
-	s.StaleCount = len(t.recs) - 1 - s.RegularCount - s.UncleCount
+	s.StaleCount = t.Len() - 1 - s.RegularCount - s.UncleCount
 	return s, nil
 }
 

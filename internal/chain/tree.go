@@ -28,10 +28,10 @@ type Config struct {
 // rec is the tree's internal per-block record. It is deliberately compact
 // and pointer-free: 20 bytes per block instead of a 64-byte Block with a
 // slice header, so appends copy less, chain walks stay cache-dense, and the
-// garbage collector never scans block storage. ID and Seq are implicit (both
-// equal the record's index); uncle references live in the shared arena,
-// addressed by [uncleStart, uncleEnd). The public Block view is synthesized
-// on demand.
+// garbage collector never scans block storage. ID and Seq are implicit (a
+// record's ID is its index plus the eviction base); uncle references live in
+// the shared arena, addressed by [uncleStart, uncleEnd). The public Block
+// view is synthesized on demand.
 type rec struct {
 	parent     int32
 	height     int32
@@ -75,10 +75,29 @@ var noLinks = links{
 
 // Tree is an append-only block tree rooted at a genesis block. It is not
 // safe for concurrent use.
+//
+// Long-horizon runs stream-settle and evict decided history through
+// CompactBelow: record storage is then a window over IDs [Base(), Len()),
+// kept in the same flat arrays by a batched copy-down, while BlockIDs stay
+// stable (every ID ever issued keeps naming the same block). All structural
+// indexes of resident blocks point forward (children, siblings, and
+// referencers always have larger IDs than the block itself), so eviction
+// can only leave two kinds of dangling backward edges: a resident block's
+// parent ID and a resident nephew's uncle IDs may name evicted blocks.
+// Callers that compact guarantee no accessor dereferences below Base();
+// dangling IDs are only ever compared.
 type Tree struct {
 	cfg   Config
 	recs  []rec
 	links []links
+
+	// base is the ID of recs[0]: zero until CompactBelow evicts a decided
+	// prefix, after which record index = ID - base. It only ever grows.
+	base int32
+
+	// arenaOff is the pre-eviction arena length: uncle ranges in recs are
+	// stored as absolute positions, so arena index = position - arenaOff.
+	arenaOff int32
 
 	// times holds each block's timestamp, parallel to recs — but only
 	// once a nonzero stamp has been recorded. A timeless run stamps every
@@ -126,27 +145,85 @@ func (t *Tree) Reset(cfg Config, genesisMiner MinerID) {
 		t.times = t.times[:0]
 	}
 	t.uncleArena = t.uncleArena[:0]
+	t.base = 0
+	t.arenaOff = 0
 	t.recs = append(t.recs, rec{parent: noBlock32, miner: int32(genesisMiner)})
 	t.links = append(t.links, noLinks)
 }
 
-// Genesis returns the genesis block's ID (always 0).
+// Genesis returns the genesis block's ID (always 0, whether or not the
+// genesis record itself has been evicted).
 func (t *Tree) Genesis() BlockID { return 0 }
 
-// Len returns the number of blocks including genesis.
-func (t *Tree) Len() int { return len(t.recs) }
+// Len returns the number of blocks ever added, including genesis and any
+// records CompactBelow has evicted: IDs are issued contiguously, so Len is
+// also the next ID.
+func (t *Tree) Len() int { return int(t.base) + len(t.recs) }
+
+// Base returns the lowest resident block ID. It is zero (genesis) until
+// CompactBelow evicts a prefix; accessors must not be asked about blocks
+// below it.
+func (t *Tree) Base() BlockID { return BlockID(t.base) }
+
+// Evicted returns the number of records CompactBelow has evicted so far.
+func (t *Tree) Evicted() int { return int(t.base) }
+
+// CompactBelow evicts the longest prefix of records whose height is below
+// minHeight, compacting the backing arrays in place (one copy-down of the
+// resident suffix, so freed capacity is reused by future appends), and
+// returns the number of records evicted. The scan stops at the first record
+// at or above minHeight, which makes the contract monotone in height: after
+// the call, every block below Base() has height < minHeight, and every block
+// at height >= minHeight is resident.
+//
+// The caller owns the safety argument: minHeight must be low enough that no
+// future accessor dereferences an evicted block. The streaming simulator
+// passes settledHeight - uncleWindow, under which evicted blocks are
+// topologically decided, already settled, and too deep ever to be referenced
+// (or have their record read) again.
+func (t *Tree) CompactBelow(minHeight int) int {
+	n := 0
+	for n < len(t.recs) && int(t.recs[n].height) < minHeight {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	// The evicted records own exactly the arena prefix before the first
+	// survivor's range (uncleStart is monotone across records in creation
+	// order).
+	cutArena := t.arenaOff + int32(len(t.uncleArena))
+	if n < len(t.recs) {
+		cutArena = t.recs[n].uncleStart
+	}
+	k := copy(t.recs, t.recs[n:])
+	t.recs = t.recs[:k]
+	kl := copy(t.links, t.links[n:])
+	t.links = t.links[:kl]
+	if len(t.times) > 0 {
+		kt := copy(t.times, t.times[n:])
+		t.times = t.times[:kt]
+	}
+	a := int(cutArena - t.arenaOff)
+	m := copy(t.uncleArena, t.uncleArena[a:])
+	t.uncleArena = t.uncleArena[:m]
+	t.arenaOff = cutArena
+	t.base += int32(n)
+	return n
+}
 
 // uncles returns the arena-backed uncle list of a record (nil when empty).
 func (t *Tree) uncles(r rec) []BlockID {
 	if r.uncleStart == r.uncleEnd {
 		return nil
 	}
-	return t.uncleArena[r.uncleStart:r.uncleEnd:r.uncleEnd]
+	s, e := r.uncleStart-t.arenaOff, r.uncleEnd-t.arenaOff
+	return t.uncleArena[s:e:e]
 }
 
 // Block returns the block with the given ID, synthesized from the compact
-// internal record. It panics on an invalid ID, which indicates a
-// programming error (IDs are only produced by this tree). Hot paths should
+// internal record. It panics on an invalid (or evicted) ID, which indicates
+// a programming error (IDs are only produced by this tree). Hot paths should
 // prefer the single-field accessors (ParentOf, HeightOf, MinerOf,
 // UnclesOf), which avoid materializing the record.
 func (t *Tree) Block(id BlockID) Block {
@@ -163,24 +240,24 @@ func (t *Tree) Block(id BlockID) Block {
 }
 
 // ParentOf returns the block's parent (NoBlock for genesis).
-func (t *Tree) ParentOf(id BlockID) BlockID { return BlockID(t.recs[id].parent) }
+func (t *Tree) ParentOf(id BlockID) BlockID { return BlockID(t.recs[int32(id)-t.base].parent) }
 
 // HeightOf returns the block's height without materializing the record.
-func (t *Tree) HeightOf(id BlockID) int { return int(t.recs[id].height) }
+func (t *Tree) HeightOf(id BlockID) int { return int(t.recs[int32(id)-t.base].height) }
 
 // MinerOf returns the block's producer.
-func (t *Tree) MinerOf(id BlockID) MinerID { return MinerID(t.recs[id].miner) }
+func (t *Tree) MinerOf(id BlockID) MinerID { return MinerID(t.recs[int32(id)-t.base].miner) }
 
 // UnclesOf returns the block's uncle references. The slice is owned by the
 // tree and must not be modified.
-func (t *Tree) UnclesOf(id BlockID) []BlockID { return t.uncles(t.recs[id]) }
+func (t *Tree) UnclesOf(id BlockID) []BlockID { return t.uncles(t.recs[int32(id)-t.base]) }
 
 // TimeOf returns the block's timestamp (zero for every block of a timeless
 // run, and for genesis). Blocks beyond the stored stamps — all of them, in
 // a run that never recorded a nonzero stamp — are zero by representation.
 func (t *Tree) TimeOf(id BlockID) float64 {
-	if ts := t.times; int(id) < len(ts) {
-		return ts[id]
+	if ts := t.times; int(int32(id)-t.base) < len(ts) {
+		return ts[int32(id)-t.base]
 	}
 	return 0
 }
@@ -188,35 +265,40 @@ func (t *Tree) TimeOf(id BlockID) float64 {
 // BlockInfo returns the parent, height, and uncle references of a block in
 // one record load — the chain-walking accessor for hot paths.
 func (t *Tree) BlockInfo(id BlockID) (parent BlockID, height int, uncles []BlockID) {
-	r := t.recs[id]
+	r := t.recs[int32(id)-t.base]
 	return BlockID(r.parent), int(r.height), t.uncles(r)
 }
 
 // ParentAndHeight returns the parent and height in one record load, without
 // touching the uncle arena — for chain walks that do not need references.
 func (t *Tree) ParentAndHeight(id BlockID) (parent BlockID, height int) {
-	r := t.recs[id]
+	r := t.recs[int32(id)-t.base]
 	return BlockID(r.parent), int(r.height)
 }
 
 // FirstChildOf returns the block's first child in creation order, or
 // NoBlock.
-func (t *Tree) FirstChildOf(id BlockID) BlockID { return BlockID(t.links[id].firstChild) }
+func (t *Tree) FirstChildOf(id BlockID) BlockID {
+	return BlockID(t.links[int32(id)-t.base].firstChild)
+}
 
 // NextSiblingOf returns the next child of id's parent in creation order, or
 // NoBlock.
-func (t *Tree) NextSiblingOf(id BlockID) BlockID { return BlockID(t.links[id].nextSibling) }
+func (t *Tree) NextSiblingOf(id BlockID) BlockID {
+	return BlockID(t.links[int32(id)-t.base].nextSibling)
+}
 
 // IsForkChild reports whether the block's parent has more than one child,
-// i.e. whether the block sits at a fork. Only fork children can ever become
+// i.e. whether the block sits at a fork. Only such blocks can ever become
 // uncles: an eligible uncle is off the referencing chain while its parent is
 // on it, so the parent necessarily has a second, on-chain child.
 func (t *Tree) IsForkChild(id BlockID) bool {
-	parent := t.recs[id].parent
+	parent := t.recs[int32(id)-t.base].parent
 	if parent == noBlock32 {
 		return false
 	}
-	return t.links[parent].firstChild != t.links[parent].lastChild
+	lp := &t.links[parent-t.base]
+	return lp.firstChild != lp.lastChild
 }
 
 // Children returns the direct children of a block in creation order. The
@@ -234,7 +316,7 @@ func (t *Tree) Children(id BlockID) []BlockID {
 // stopping early if fn returns false. It is the no-copy counterpart of
 // Children for allocation-sensitive traversals.
 func (t *Tree) VisitChildren(id BlockID, fn func(BlockID) bool) {
-	for kid := t.links[t.mustIndex(id)].firstChild; kid != noBlock32; kid = t.links[kid].nextSibling {
+	for kid := t.links[t.mustIndex(id)].firstChild; kid != noBlock32; kid = t.links[kid-t.base].nextSibling {
 		if !fn(BlockID(kid)) {
 			return
 		}
@@ -249,9 +331,10 @@ func (t *Tree) HasChildren(id BlockID) bool {
 // Height returns the block's height.
 func (t *Tree) Height(id BlockID) int { return int(t.recs[t.mustIndex(id)].height) }
 
-// Contains reports whether id names a block of this tree.
+// Contains reports whether id names a resident block of this tree (evicted
+// IDs once named blocks, but their records are gone).
 func (t *Tree) Contains(id BlockID) bool {
-	return id >= 0 && int(id) < len(t.recs)
+	return int32(id) >= t.base && int(id) < t.Len()
 }
 
 // ReferencedBy returns the block referencing id as an uncle, or NoBlock.
@@ -260,9 +343,9 @@ func (t *Tree) ReferencedBy(id BlockID) BlockID {
 }
 
 // TotalUncleRefs returns the number of uncle references recorded across all
-// blocks (on every branch). Settlement uses it to presize its realized-
-// reference list.
-func (t *Tree) TotalUncleRefs() int { return len(t.uncleArena) }
+// blocks ever added (on every branch, including evicted ones). Settlement
+// uses it to presize its realized-reference list.
+func (t *Tree) TotalUncleRefs() int { return int(t.arenaOff) + len(t.uncleArena) }
 
 // Extend appends a new block on the given parent, referencing the given
 // uncles, and returns its ID. The uncle list is validated against the
@@ -289,7 +372,7 @@ func (t *Tree) ExtendAt(parent BlockID, miner MinerID, uncles []BlockID, at floa
 		return NoBlock, fmt.Errorf("%d uncles (limit %d): %w",
 			len(uncles), t.cfg.MaxUnclesPerBlock, ErrTooManyUncles)
 	}
-	newHeight := t.recs[parent].height + 1
+	newHeight := t.recs[int32(parent)-t.base].height + 1
 	for i, u := range uncles {
 		for _, prev := range uncles[:i] {
 			if prev == u {
@@ -301,31 +384,32 @@ func (t *Tree) ExtendAt(parent BlockID, miner MinerID, uncles []BlockID, at floa
 		}
 	}
 
-	start := len(t.uncleArena)
+	start := t.arenaOff + int32(len(t.uncleArena))
 	if len(uncles) > 0 {
 		t.uncleArena = append(t.uncleArena, uncles...)
 	}
-	id := BlockID(len(t.recs))
+	id := BlockID(t.Len())
 	t.recs = append(t.recs, rec{
 		parent:     int32(parent),
 		height:     newHeight,
 		miner:      int32(miner),
-		uncleStart: int32(start),
-		uncleEnd:   int32(len(t.uncleArena)),
+		uncleStart: start,
+		uncleEnd:   t.arenaOff + int32(len(t.uncleArena)),
 	})
 	t.links = append(t.links, noLinks)
 	if at != 0 || len(t.times) != 0 {
 		t.stamp(at)
 	}
 	id32 := int32(id)
-	if t.links[parent].firstChild == noBlock32 {
-		t.links[parent].firstChild = id32
+	lp := &t.links[int32(parent)-t.base]
+	if lp.firstChild == noBlock32 {
+		lp.firstChild = id32
 	} else {
-		t.links[t.links[parent].lastChild].nextSibling = id32
+		t.links[lp.lastChild-t.base].nextSibling = id32
 	}
-	t.links[parent].lastChild = id32
+	lp.lastChild = id32
 	for _, u := range uncles {
-		t.links[u].referencedBy = id32
+		t.links[int32(u)-t.base].referencedBy = id32
 	}
 	return id, nil
 }
@@ -349,14 +433,14 @@ func (t *Tree) stamp(at float64) {
 // or the parent already has a child; the caller falls back to ExtendAt,
 // which reports the precise error.
 func (t *Tree) AppendLeaf(parent BlockID, miner MinerID, at float64) (id BlockID, ok bool) {
-	if !t.Contains(parent) || miner < 0 || t.links[parent].firstChild != noBlock32 {
+	if !t.Contains(parent) || miner < 0 || t.links[int32(parent)-t.base].firstChild != noBlock32 {
 		return NoBlock, false
 	}
-	ue := int32(len(t.uncleArena))
-	id = BlockID(len(t.recs))
+	ue := t.arenaOff + int32(len(t.uncleArena))
+	id = BlockID(t.Len())
 	t.recs = append(t.recs, rec{
 		parent:     int32(parent),
-		height:     t.recs[parent].height + 1,
+		height:     t.recs[int32(parent)-t.base].height + 1,
 		miner:      int32(miner),
 		uncleStart: ue,
 		uncleEnd:   ue,
@@ -366,7 +450,7 @@ func (t *Tree) AppendLeaf(parent BlockID, miner MinerID, at float64) (id BlockID
 		t.stamp(at)
 	}
 	// Re-index after the appends: they may have moved the backing array.
-	lp := &t.links[parent]
+	lp := &t.links[int32(parent)-t.base]
 	lp.firstChild, lp.lastChild = int32(id), int32(id)
 	return id, true
 }
@@ -393,42 +477,44 @@ func (t *Tree) ExtendRun(parent BlockID, miner MinerID, count int, start, step f
 		return NoBlock, fmt.Errorf("chain: ExtendRun count %d must be positive", count)
 	}
 	p32 := int32(parent)
-	h := t.recs[p32].height
+	h := t.recs[p32-t.base].height
 	m32 := int32(miner)
-	ue := int32(len(t.uncleArena))
+	ue := t.arenaOff + int32(len(t.uncleArena))
 	at := start
 	// Grow all three arenas once up front, then fill by index: the loop
 	// body runs without append's per-element capacity checks, which is
 	// where a naive per-block loop spends most of its time.
-	base := len(t.recs)
-	t.recs = slices.Grow(t.recs, count)[:base+count]
-	t.links = slices.Grow(t.links, count)[:base+count]
+	n := len(t.recs)
+	t.recs = slices.Grow(t.recs, count)[:n+count]
+	t.links = slices.Grow(t.links, count)[:n+count]
 	// Timestamps are stored only once one is nonzero (see the times field):
 	// a timeless run's bulk append skips the third arena entirely.
 	storeTimes := len(t.times) != 0 || start != 0 || step != 0
 	if storeTimes {
-		for len(t.times) < base {
+		for len(t.times) < n {
 			t.times = append(t.times, 0)
 		}
-		t.times = slices.Grow(t.times, count)[:base+count]
+		t.times = slices.Grow(t.times, count)[:n+count]
 	}
 	// Attach the run's head to the pre-existing parent through the normal
 	// sibling chain; every interior block then has exactly one child — the
 	// next block of the run — so its link record is written once, fully
 	// formed, instead of initialized empty and patched back by the next
 	// iteration.
-	head := int32(base)
-	if t.links[p32].firstChild == noBlock32 {
-		t.links[p32].firstChild = head
+	head := t.base + int32(n)
+	lp := &t.links[p32-t.base]
+	if lp.firstChild == noBlock32 {
+		lp.firstChild = head
 	} else {
-		t.links[t.links[p32].lastChild].nextSibling = head
+		t.links[lp.lastChild-t.base].nextSibling = head
 	}
-	t.links[p32].lastChild = head
+	lp.lastChild = head
 	for j := 0; j < count; j++ {
 		h++
 		at += step
-		id32 := int32(base + j)
-		t.recs[id32] = rec{
+		idx := n + j
+		id32 := t.base + int32(idx)
+		t.recs[idx] = rec{
 			parent:     p32,
 			height:     h,
 			miner:      m32,
@@ -436,18 +522,18 @@ func (t *Tree) ExtendRun(parent BlockID, miner MinerID, count int, start, step f
 			uncleEnd:   ue,
 		}
 		if storeTimes {
-			t.times[id32] = at
+			t.times[idx] = at
 		}
 		if j < count-1 {
 			next := id32 + 1
-			t.links[id32] = links{
+			t.links[idx] = links{
 				firstChild:   next,
 				lastChild:    next,
 				nextSibling:  noBlock32,
 				referencedBy: noBlock32,
 			}
 		} else {
-			t.links[id32] = noLinks
+			t.links[idx] = noLinks
 		}
 		p32 = id32
 	}
@@ -464,7 +550,7 @@ func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
 	if !t.Contains(u) {
 		return fmt.Errorf("uncle %d: %w", u, ErrUnknownBlock)
 	}
-	uncleHeight := int(t.recs[u].height)
+	uncleHeight := int(t.recs[int32(u)-t.base].height)
 	distance := newHeight - uncleHeight
 	if distance < 1 {
 		// The uncle is at or above the new block's height; it cannot
@@ -479,17 +565,17 @@ func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
 
 	// Walk up from parent to the uncle's height, checking attachment,
 	// ancestry, and prior references along the way.
-	cursor := parent
-	for int(t.recs[cursor].height) > uncleHeight {
-		for _, ref := range t.uncles(t.recs[cursor]) {
+	cursor := int32(parent)
+	for t.recs[cursor-t.base].height > int32(uncleHeight) {
+		for _, ref := range t.uncles(t.recs[cursor-t.base]) {
 			if ref == u {
 				return fmt.Errorf("uncle %d referenced by ancestor %d: %w",
 					u, cursor, ErrUncleAlreadyReferenced)
 			}
 		}
-		cursor = BlockID(t.recs[cursor].parent)
+		cursor = t.recs[cursor-t.base].parent
 	}
-	if cursor == u {
+	if BlockID(cursor) == u {
 		return fmt.Errorf("uncle %d: %w", u, ErrUncleIsAncestor)
 	}
 	// cursor is the new block's ancestor at the uncle's height. The uncle
@@ -497,7 +583,7 @@ func (t *Tree) validateUncle(parent BlockID, newHeight int, u BlockID) error {
 	// uncle.Parent sits one height below, the only ancestor it can equal
 	// is cursor's parent, so the attachment check is exactly that
 	// equality.
-	if t.recs[u].parent != t.recs[cursor].parent {
+	if t.recs[int32(u)-t.base].parent != t.recs[cursor-t.base].parent {
 		return fmt.Errorf("uncle %d: %w", u, ErrUncleNotAttached)
 	}
 	return nil
@@ -509,11 +595,11 @@ func (t *Tree) IsAncestor(a, b BlockID) bool {
 	if t.recs[ai].height >= t.recs[bi].height {
 		return false
 	}
-	cursor := b
-	for t.recs[cursor].height > t.recs[ai].height {
-		cursor = BlockID(t.recs[cursor].parent)
+	cursor := int32(b)
+	for t.recs[cursor-t.base].height > t.recs[ai].height {
+		cursor = t.recs[cursor-t.base].parent
 	}
-	return cursor == a
+	return BlockID(cursor) == a
 }
 
 // AncestorAt returns b's ancestor at the given height (or b itself when
@@ -525,47 +611,53 @@ func (t *Tree) AncestorAt(b BlockID, height int) BlockID {
 		panic(fmt.Sprintf("chain: AncestorAt height %d out of range for block at height %d",
 			height, t.recs[bi].height))
 	}
-	cursor := b
-	for int(t.recs[cursor].height) > height {
-		cursor = BlockID(t.recs[cursor].parent)
+	cursor := int32(b)
+	for int(t.recs[cursor-t.base].height) > height {
+		cursor = t.recs[cursor-t.base].parent
 	}
-	return cursor
+	return BlockID(cursor)
 }
 
 // CommonAncestor returns the deepest common ancestor of a and b.
 func (t *Tree) CommonAncestor(a, b BlockID) BlockID {
 	t.mustIndex(a)
 	t.mustIndex(b)
-	if t.recs[a].height > t.recs[b].height {
-		a = t.AncestorAt(a, int(t.recs[b].height))
-	} else if t.recs[b].height > t.recs[a].height {
-		b = t.AncestorAt(b, int(t.recs[a].height))
+	ha, hb := t.HeightOf(a), t.HeightOf(b)
+	if ha > hb {
+		a = t.AncestorAt(a, hb)
+	} else if hb > ha {
+		b = t.AncestorAt(b, ha)
 	}
 	for a != b {
-		a = BlockID(t.recs[a].parent)
-		b = BlockID(t.recs[b].parent)
+		a = t.ParentOf(a)
+		b = t.ParentOf(b)
 	}
 	return a
 }
 
-// PathTo returns the chain from genesis to tip, inclusive.
+// PathTo returns the chain from genesis to tip, inclusive. It requires the
+// full history: a compacted tree panics once the walk crosses Base().
 func (t *Tree) PathTo(tip BlockID) []BlockID {
 	ti := t.mustIndex(tip)
 	path := make([]BlockID, t.recs[ti].height+1)
 	cursor := tip
 	for i := len(path) - 1; i >= 0; i-- {
 		path[i] = cursor
-		cursor = BlockID(t.recs[cursor].parent)
+		cursor = BlockID(t.recs[t.mustIndex(cursor)].parent)
 	}
 	return path
 }
 
-// Tips returns all leaves (blocks without children) in creation order.
+// Tips returns all resident leaves (blocks without children) in creation
+// order. Evicted blocks are never leaves: eviction requires every record
+// below the cut to be decided, and a decided block on the settled chain has
+// a child by construction while an off-chain one can no longer be extended —
+// but even a childless evicted record is simply no longer reported.
 func (t *Tree) Tips() []BlockID {
 	var tips []BlockID
-	for id := range t.recs {
-		if t.links[id].firstChild == noBlock32 {
-			tips = append(tips, BlockID(id))
+	for i := range t.recs {
+		if t.links[i].firstChild == noBlock32 {
+			tips = append(tips, BlockID(t.base+int32(i)))
 		}
 	}
 	return tips
@@ -573,7 +665,7 @@ func (t *Tree) Tips() []BlockID {
 
 func (t *Tree) mustIndex(id BlockID) int {
 	if !t.Contains(id) {
-		panic(fmt.Sprintf("chain: invalid block ID %d (tree has %d blocks)", id, len(t.recs)))
+		panic(fmt.Sprintf("chain: invalid block ID %d (tree holds %d..%d)", id, t.base, t.Len()-1))
 	}
-	return int(id)
+	return int(int32(id) - t.base)
 }

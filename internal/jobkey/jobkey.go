@@ -107,6 +107,9 @@ func writeConfig(w *Writer, cfg *sim.Config) {
 	// separates the address space.
 	w.Bool(cfg.FastForward)
 	w.Bool(cfg.Antithetic)
+	// Streaming settlement is bit-identical except the Steady window's
+	// snapshot-rounded start, so it separates the address space too.
+	w.Bool(cfg.Streaming)
 	w.Bool(cfg.Time.Enabled)
 	if cfg.Time.Enabled {
 		d := cfg.Time.Difficulty

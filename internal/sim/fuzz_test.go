@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"github.com/ethselfish/ethselfish/internal/chain"
@@ -213,6 +214,35 @@ func FuzzRandomLegalStrategySimulation(f *testing.F) {
 		} else if result.Elapsed != 0 || result.SettledTime != 0 {
 			t.Errorf("timeless run reported elapsed %v, settled %v",
 				result.Elapsed, result.SettledTime)
+		}
+
+		// Streaming equivalence: the same trajectory settled incrementally
+		// (with the runtime auditor verifying conservation at every sampled
+		// event along the way) must reproduce the one-shot Result bit for
+		// bit. Fresh reactors at the same seeds replay the same decisions.
+		streamCfg := cfg
+		streamCfg.Streaming = true
+		streamCfg.Audit = AuditConfig{Enabled: true, SampleEvery: 64}
+		streamStrategies := make([]Strategy, pools)
+		for i := range streamStrategies {
+			streamStrategies[i] = &randomReactor{r: rng.New(strategySeed + uint64(i))}
+		}
+		streamCfg.Strategies = streamStrategies
+		var ss simulator
+		ss.init(streamCfg)
+		streamResult, err := settleRun(&ss)
+		if err != nil {
+			t.Fatalf("streaming replay errored: %v", err)
+		}
+		want := result
+		if want.RegularCount >= maxStreamSnaps {
+			// The snapshot ring coarsened: Steady is approximate by
+			// contract, every other field stays exact.
+			want.Steady = Window{}
+			streamResult.Steady = Window{}
+		}
+		if !reflect.DeepEqual(want, streamResult) {
+			diffResults(t, want, streamResult)
 		}
 	})
 }

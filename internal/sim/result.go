@@ -298,6 +298,8 @@ func (rn *Runner) Reset() {
 	s.cfg = Config{}
 	s.aud = nil
 	s.ctrl = nil
+	s.str = nil
+	s.idBase = 0
 }
 
 // Run executes one simulation and settles it.
@@ -308,11 +310,16 @@ func Run(cfg Config) (Result, error) {
 // RunTrace executes one simulation and additionally returns the full block
 // tree, for trace export and post-hoc analysis. The tree retains every
 // block including losers of resolved races and the pool's never-published
-// blocks.
+// blocks — which is why streaming runs (whose tree is evicted as it
+// settles) are rejected.
 func RunTrace(cfg Config) (Result, *chain.Tree, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Result{}, nil, err
+	}
+	if cfg.Streaming {
+		return Result{}, nil, fmt.Errorf(
+			"%w: RunTrace needs the full block tree; disable Streaming", ErrBadConfig)
 	}
 	var s simulator
 	s.init(cfg)
@@ -333,6 +340,9 @@ func settleRun(s *simulator) (Result, error) {
 	// A sparse audit sample still checks the exact state being settled.
 	if err := s.auditFinal(); err != nil {
 		return Result{}, err
+	}
+	if s.str != nil {
+		return settleStream(s)
 	}
 	cfg := s.cfg
 	settlement, err := s.tree.Settle(s.consensusFloor(), cfg.Schedule)

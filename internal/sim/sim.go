@@ -134,6 +134,17 @@ type Config struct {
 	// Strategy contract already requires.
 	FastForward bool
 
+	// Streaming settles the chain incrementally as the consensus floor
+	// advances and evicts settled records from the block tree, keeping
+	// resident memory O(active race window) instead of O(run length) —
+	// the mode multi-million-block horizons require (see stream.go).
+	// Results are bit-identical to the default one-shot settlement except
+	// Result.Steady, whose start snaps to a cumulative snapshot boundary
+	// (within 1/2048 of the run; exact for runs short enough that the
+	// snapshot interval is still one block). The final tree is partial, so
+	// RunTrace rejects the mode.
+	Streaming bool
+
 	// Antithetic runs the simulation on the antithetic mirror of the
 	// seed's random streams: every uniform draw u is reflected to
 	// (1 - 2^-53) - u (see rng.Source.SetAntithetic). A (seed, plain) /
@@ -298,10 +309,18 @@ type simulator struct {
 	observedTo       chain.BlockID
 	obsScratch       []chain.BlockID
 
-	// published[id] reports whether honest miners can see the block.
-	// Unpublished blocks are additionally visible to the pool that mined
-	// them.
+	// published[id - idBase] reports whether honest miners can see the
+	// block. Unpublished blocks are additionally visible to the pool that
+	// mined them. idBase tracks the tree's eviction base under streaming
+	// (always zero otherwise), so both per-block arrays stay as dense ID
+	// indexes while the settled prefix is evicted out from under them.
 	published []bool
+	idBase    int
+
+	// str is the streaming-settlement overlay (see stream.go); nil unless
+	// cfg.Streaming, so the non-streaming hot path pays one nil check per
+	// event.
+	str *streamState
 
 	// recent is a sliding window of blocks used as uncle candidates;
 	// entries carry their height so trimming and filtering never touch
@@ -420,14 +439,22 @@ func (s *simulator) init(cfg Config) {
 	if window > maxReferenceWindow {
 		window = maxReferenceWindow
 	}
+	// One block per event: size the tree (and the per-block arrays below)
+	// up front so they never reallocate mid-run. Under streaming the
+	// resident set is a window over the run, so the hint drops to a few
+	// flush batches — this is the O(blocks) -> O(window) memory change.
+	blocksHint := cfg.Blocks
+	if cfg.Streaming {
+		if h := 4 * (window + 1 + streamFlushBatch); h < blocksHint {
+			blocksHint = h
+		}
+	}
 	treeCfg := chain.Config{
 		// The tree enforces the protocol's reference-depth rule so a
 		// buggy strategy cannot slip an ineligible uncle through.
 		MaxUncleDepth:     window,
 		MaxUnclesPerBlock: cfg.MaxUnclesPerBlock,
-		// One block per event: size the tree up front so it never
-		// reallocates mid-run.
-		BlocksHint: cfg.Blocks,
+		BlocksHint:        blocksHint,
 	}
 	s.cfg = cfg
 	s.window = window
@@ -442,9 +469,9 @@ func (s *simulator) init(cfg Config) {
 		s.random.Reseed(cfg.Seed)
 	}
 	s.random.SetAntithetic(cfg.Antithetic)
-	if cap(s.published) < cfg.Blocks+1 {
-		s.published = make([]bool, 1, cfg.Blocks+1)
-		s.inRecent = make([]bool, 1, cfg.Blocks+1)
+	if cap(s.published) < blocksHint+1 {
+		s.published = make([]bool, 1, blocksHint+1)
+		s.inRecent = make([]bool, 1, blocksHint+1)
 	} else {
 		s.published = s.published[:1]
 		s.inRecent = s.inRecent[:1]
@@ -509,6 +536,7 @@ func (s *simulator) init(cfg Config) {
 		clear(s.events)
 	}
 	s.initTime(cfg)
+	s.initStream(cfg)
 	s.initFastForward(cfg)
 	s.initOriginFast()
 	s.initAudit(cfg)
@@ -637,7 +665,7 @@ func (s *simulator) extend(parent chain.BlockID, miner chain.MinerID, uncles []c
 	}
 	height := s.tree.HeightOf(id)
 	if firstSibling != chain.NoBlock {
-		if s.tree.NextSiblingOf(firstSibling) == id && s.inRecent[firstSibling] {
+		if s.tree.NextSiblingOf(firstSibling) == id && s.inRecent[int(firstSibling)-s.idBase] {
 			// Siblings share a height, so the denormalized height
 			// of the promoted first child equals the newborn's.
 			s.addForkChild(windowBlock{id: firstSibling, height: height})
@@ -667,7 +695,7 @@ func (s *simulator) trimRecent(minHeight int) {
 	head := s.recentHead
 	for head < len(s.recent) && s.recent[head].height < minHeight {
 		old := s.recent[head].id
-		s.inRecent[old] = false
+		s.inRecent[int(old)-s.idBase] = false
 		// Scanning the tiny fork-child set directly is cheaper than
 		// asking the tree whether old is a fork child first.
 		if len(s.forkChildren) > 0 {
@@ -687,7 +715,7 @@ func (s *simulator) trimRecent(minHeight int) {
 // honest miners.
 func (s *simulator) publishPool(p *poolState, n int) {
 	for i := p.published; i < n && i < len(p.blocks); i++ {
-		s.published[p.blocks[i]] = true
+		s.published[int(p.blocks[i])-s.idBase] = true
 	}
 	if n > p.published {
 		p.published = n
@@ -840,7 +868,7 @@ func (s *simulator) eligibleUncles(parent chain.BlockID, viewer mining.PoolID) [
 		if cand.height < lowest || cand.height >= newHeight {
 			continue
 		}
-		if !s.published[cand.id] &&
+		if !s.published[int(cand.id)-s.idBase] &&
 			(viewer == mining.HonestPool || s.poolOf(cand.id) != viewer) {
 			continue // invisible to this viewer
 		}
@@ -1237,6 +1265,9 @@ func (s *simulator) run() error {
 			if err := s.flushFloor(); err != nil {
 				return err
 			}
+			if err := s.flushStream(); err != nil {
+				return err
+			}
 			if s.aud != nil {
 				if err := s.auditEvent(i); err != nil {
 					return err
@@ -1306,6 +1337,9 @@ func (s *simulator) run() error {
 			if s.ctrl != nil {
 				s.observeSettled()
 			}
+			if err := s.flushStream(); err != nil {
+				return err
+			}
 			if s.aud != nil {
 				if err := s.auditEvent(i); err != nil {
 					return err
@@ -1333,6 +1367,9 @@ func (s *simulator) run() error {
 		}
 		if s.ctrl != nil {
 			s.observeSettled()
+		}
+		if err := s.flushStream(); err != nil {
+			return err
 		}
 		if s.aud != nil {
 			if err := s.auditEvent(i); err != nil {

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/ethselfish/ethselfish/internal/difficulty"
+	"github.com/ethselfish/ethselfish/internal/mining"
+	"github.com/ethselfish/ethselfish/internal/rewards"
+)
+
+// The streaming overlay promises bit-identity with the one-shot settlement
+// for every Result field except Steady, whose start rounds down to a
+// cumulative snapshot; while the snapshot interval is still one block (runs
+// short enough that the settled chain fits the ring) even Steady is exact.
+// These tests pin that promise across every engine mode the overlay touches:
+// timeless and timed, both difficulty rules, fast-forward, uncle caps,
+// multi-pool and 1000-miner populations, and the Bitcoin window=1 boundary.
+
+// streamEquivCase is one pinned configuration; exact marks runs short enough
+// that the Steady snapshot interval stays at one block, making the whole
+// Result (Steady included) bit-identical.
+type streamEquivCase struct {
+	name  string
+	cfg   Config
+	exact bool
+}
+
+func streamEquivCases(t *testing.T) []streamEquivCase {
+	t.Helper()
+	multi, err := mining.MultiAgent(0.25, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal, err := mining.Equal(1000, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed := func(rule difficulty.Rule, blocks int) Config {
+		cfg := timedConfig(t, 0.35, blocks, rule)
+		return cfg
+	}
+	return []streamEquivCase{
+		{
+			name:  "timeless-1pool",
+			cfg:   Config{Population: twoAgent(t, 0.35), Gamma: 0.5, Blocks: 20000, Seed: 7},
+			exact: true,
+		},
+		{
+			name:  "timeless-2pool",
+			cfg:   Config{Population: multi, Gamma: 0.5, Blocks: 20000, Seed: 7},
+			exact: true,
+		},
+		{
+			name:  "timeless-unclecap",
+			cfg:   Config{Population: twoAgent(t, 0.35), Gamma: 0.5, Blocks: 20000, Seed: 7, MaxUnclesPerBlock: 2},
+			exact: true,
+		},
+		{
+			name:  "timeless-1000miners",
+			cfg:   Config{Population: equal, Gamma: 0.5, Blocks: 20000, Seed: 7},
+			exact: true,
+		},
+		{
+			name:  "timeless-bitcoin-window1",
+			cfg:   Config{Population: twoAgent(t, 0.35), Gamma: 0.5, Blocks: 20000, Seed: 7, Schedule: rewards.Bitcoin()},
+			exact: true,
+		},
+		{name: "timed-eip100", cfg: timed(difficulty.EIP100, 2000), exact: true},
+		{name: "timed-bitcoinstyle", cfg: timed(difficulty.BitcoinStyle, 2000), exact: true},
+		{name: "timed-eip100-long", cfg: timed(difficulty.EIP100, 30000), exact: false},
+		{
+			name:  "fastforward",
+			cfg:   Config{Population: twoAgent(t, 0.15), Gamma: 0.5, Blocks: 20000, Seed: 909, FastForward: true},
+			exact: true,
+		},
+		{
+			name: "fastforward-timed-static",
+			cfg: Config{
+				Population:  twoAgent(t, 0.15),
+				Gamma:       0.5,
+				Blocks:      2000,
+				Seed:        909,
+				FastForward: true,
+				Time: TimeConfig{
+					Enabled:    true,
+					Difficulty: difficulty.Params{Rule: difficulty.Static},
+				},
+			},
+			exact: true,
+		},
+	}
+}
+
+// diffResults reports every Result field where got diverges from want,
+// field by field so a failure names the broken invariant directly.
+func diffResults(t *testing.T, want, got Result) {
+	t.Helper()
+	wv, gv := reflect.ValueOf(want), reflect.ValueOf(got)
+	typ := reflect.TypeOf(want)
+	for i := 0; i < typ.NumField(); i++ {
+		if !reflect.DeepEqual(wv.Field(i).Interface(), gv.Field(i).Interface()) {
+			t.Errorf("field %s diverges:\n one-shot: %+v\nstreaming: %+v",
+				typ.Field(i).Name, wv.Field(i).Interface(), gv.Field(i).Interface())
+		}
+	}
+}
+
+// TestStreamingEquivalence pins the streaming overlay bit for bit against
+// the one-shot settlement at the same seed, and again with the runtime
+// auditor enabled (exercising the streaming conservation and clamped
+// timestamp audits along the way).
+func TestStreamingEquivalence(t *testing.T) {
+	for _, c := range streamEquivCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			base, err := Run(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			streamCfg := c.cfg
+			streamCfg.Streaming = true
+			stream, err := Run(streamCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			auditCfg := streamCfg
+			auditCfg.Audit = AuditConfig{Enabled: true, SampleEvery: 512}
+			audited, err := Run(auditCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want := base
+			if !c.exact {
+				// Long timed runs overflow the snapshot ring: Steady's
+				// start rounds down to a coarser snapshot, so it is
+				// compared by rate below instead of bit for bit.
+				want.Steady = Window{}
+				stream.Steady, audited.Steady = Window{}, Window{}
+			}
+			if !reflect.DeepEqual(want, stream) {
+				diffResults(t, want, stream)
+			}
+			if !reflect.DeepEqual(want, audited) {
+				t.Error("audited streaming run diverges from unaudited:")
+				diffResults(t, want, audited)
+			}
+		})
+	}
+}
+
+// TestStreamingSteadyApproximation bounds the only intentional divergence:
+// on a run long enough to coarsen the snapshot ring, the streaming Steady
+// window must still start at or below the one-shot midpoint, stay within a
+// ring-granularity margin of it, and report reward rates within a fraction
+// of a percent of the exact window's.
+func TestStreamingSteadyApproximation(t *testing.T) {
+	cfg := timedConfig(t, 0.35, 30000, difficulty.EIP100)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Streaming = true
+	stream, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bs, ss := base.Steady, stream.Steady
+	if ss.End != bs.End {
+		t.Errorf("steady end %v, one-shot %v", ss.End, bs.End)
+	}
+	if ss.Start > bs.Start {
+		t.Errorf("steady start %v after one-shot midpoint %v (must round down)", ss.Start, bs.Start)
+	}
+	if ss.Regular < bs.Regular {
+		t.Errorf("steady window regulars %d, one-shot %d: rounding down must only widen", ss.Regular, bs.Regular)
+	}
+	// The ring keeps at least maxStreamSnaps/2 snapshots, so the start can
+	// overshoot the midpoint by at most ~2/maxStreamSnaps of the chain.
+	margin := 4*base.RegularCount/maxStreamSnaps + 1
+	if ss.Regular > bs.Regular+margin {
+		t.Errorf("steady window regulars %d exceed one-shot %d by more than the ring margin %d",
+			ss.Regular, bs.Regular, margin)
+	}
+	for pool := range bs.ByPool {
+		got, want := ss.RateOf(mining.PoolID(pool)), bs.RateOf(mining.PoolID(pool))
+		if math.Abs(got-want) > 0.01*math.Max(want, 1e-9) {
+			t.Errorf("pool %d steady rate %v, one-shot %v (tolerance 1%%)", pool, got, want)
+		}
+	}
+}
+
+// allocDelta measures the heap bytes allocated while f runs. TotalAlloc is
+// monotone and GC-independent, so the measurement is stable.
+func allocDelta(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestStreamingMemoryIsWindowBounded pins the tentpole property: on a
+// warmed Runner a streaming run's allocations are bounded by the race
+// window and the Result size, not the run length — quadrupling the block
+// count must not even double the allocated bytes. (The one-shot path grows
+// its tree arrays with the run and fails this bound by design.)
+func TestStreamingMemoryIsWindowBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon memory measurement")
+	}
+	cfg := func(blocks int) Config {
+		return Config{Population: twoAgent(t, 0.35), Gamma: 0.5, Blocks: blocks, Seed: 3, Streaming: true}
+	}
+	var runner Runner
+	if _, err := runner.Run(cfg(50000)); err != nil { // warm all reusable storage
+		t.Fatal(err)
+	}
+	measure := func(blocks int) uint64 {
+		return allocDelta(func() {
+			if _, err := runner.Run(cfg(blocks)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	d100 := measure(100000)
+	d400 := measure(400000)
+	// Generous slack for occupancy maps and Result copies; the point is
+	// the asymptote, not the constant.
+	if d400 > 2*d100+1<<20 {
+		t.Errorf("4x blocks allocated %d bytes vs %d at 1x: memory grows with the run, not the window", d400, d100)
+	}
+}
+
+// TestStreamingRejectsTrace pins the RunTrace guard: tracing needs the full
+// block tree, which streaming evicts.
+func TestStreamingRejectsTrace(t *testing.T) {
+	cfg := Config{Population: twoAgent(t, 0.3), Gamma: 0.5, Blocks: 100, Seed: 1, Streaming: true}
+	if _, _, err := RunTrace(cfg); err == nil {
+		t.Fatal("RunTrace accepted a streaming config")
+	}
+}
+
+// TestStreamingRunnerReuse pins Runner reuse across mode flips: a Runner
+// must produce identical results switching streaming on, off, and on again
+// (stale overlay state from a previous run must never leak).
+func TestStreamingRunnerReuse(t *testing.T) {
+	plain := Config{Population: twoAgent(t, 0.35), Gamma: 0.5, Blocks: 5000, Seed: 21}
+	streaming := plain
+	streaming.Streaming = true
+
+	var runner Runner
+	first, err := runner.Run(streaming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := runner.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := runner.Run(streaming)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(first, again) {
+		t.Error("streaming runs on a reused Runner diverge:")
+		diffResults(t, first, again)
+	}
+	if !reflect.DeepEqual(first, mid) {
+		t.Error("one-shot run sandwiched between streaming runs diverges:")
+		diffResults(t, mid, first)
+	}
+}
